@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (a table, a figure,
+or a quoted statistic).  The workload suite is scaled down to a few thousand
+micro-ops per benchmark so the whole harness runs in minutes on a laptop; see
+DESIGN.md section 6 for the scaling rationale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import FIGURE_BENCHMARKS, FIGURE_TRACE_UOPS
+from repro.simulation.experiment import ComparisonResult, run_comparison
+from repro.workloads.spec_surrogates import build_surrogate
+
+
+@pytest.fixture(scope="session")
+def figure_comparison() -> ComparisonResult:
+    """Run the full five-variant comparison once and share it across benchmarks."""
+    traces = [build_surrogate(name, num_uops=FIGURE_TRACE_UOPS) for name in FIGURE_BENCHMARKS]
+    return run_comparison(traces)

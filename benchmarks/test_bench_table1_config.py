@@ -1,0 +1,29 @@
+"""Table 1 — baseline configuration for the out-of-order core."""
+
+from repro.analysis.report import format_table1_configuration
+from repro.uarch.config import CoreConfig
+
+
+def test_bench_table1_configuration(benchmark):
+    """Regenerate Table 1 from the default :class:`CoreConfig`."""
+    config = CoreConfig()
+    rendered = benchmark.pedantic(
+        lambda: format_table1_configuration(config), rounds=1, iterations=1
+    )
+    print()
+    print(rendered)
+
+    # The defaults must match the paper's Table 1 exactly.
+    assert config.frequency_ghz == 2.66
+    assert config.rob_size == 192
+    assert config.issue_queue_size == 92
+    assert config.load_queue_size == 64
+    assert config.store_queue_size == 64
+    assert config.pipeline_width == 4
+    assert config.frontend_depth == 8
+    assert config.int_registers == 168
+    assert config.fp_registers == 168
+    assert config.sst_entries == 256
+    assert config.prdq_entries == 192
+    assert config.emq_entries == 768
+    benchmark.extra_info["table1"] = config.summary()

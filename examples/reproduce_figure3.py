@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 3: energy savings of all runahead variants relative to OoO.
+
+Runs the surrogate suite on every core variant with the event-based McPAT/CACTI
+style energy model and prints per-benchmark and average energy savings — the
+same series the paper's Figure 3 plots (paper averages: RA −2.7%, RA-buffer
+~0%, PRE +6.1%, PRE+EMQ +7.2%).
+
+Run with:  python examples/reproduce_figure3.py [--uops N]
+"""
+
+import argparse
+
+from repro.analysis.report import format_energy_figure
+from repro.simulation.experiment import run_performance_comparison
+from repro.workloads.spec_surrogates import build_surrogate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--uops", type=int, default=5_000,
+                        help="micro-ops per benchmark trace (default: 5000)")
+    parser.add_argument("--benchmarks", type=str,
+                        default="mcf,libquantum,milc,sphinx3,bwaves,lbm")
+    args = parser.parse_args()
+
+    names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    traces = [build_surrogate(name, num_uops=args.uops) for name in names]
+    print(f"simulating {len(names)} benchmarks x 5 core variants ...\n")
+    comparison = run_performance_comparison(traces)
+
+    print(format_energy_figure(comparison))
+    print()
+    print("Per-variant breakdown of where the energy goes (first benchmark, PRE):")
+    result = comparison.benchmarks[0].results["pre"]
+    for component, value in result.energy.breakdown.as_dict().items():
+        print(f"  {component:28s} {value:14.1f} nJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed with ``pip install -e .`` in fully offline
+environments where the PEP 517 build path (which needs the ``wheel`` package)
+is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

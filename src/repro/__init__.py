@@ -1,0 +1,83 @@
+"""repro — a reproduction of "Precise Runahead Execution" (Naithani et al., 2019/2020).
+
+The package is organised as:
+
+* :mod:`repro.workloads` — micro-op traces and SPEC-surrogate workload generators;
+* :mod:`repro.memory` — cache hierarchy, MSHRs and DRAM timing;
+* :mod:`repro.uarch` — the cycle-level out-of-order core;
+* :mod:`repro.core` — the paper's contribution: SST, PRDQ, EMQ and the
+  runahead controllers (RA, RA-buffer, PRE, PRE+EMQ);
+* :mod:`repro.energy` — McPAT/CACTI-like energy accounting;
+* :mod:`repro.simulation` — single runs, suite comparisons and derived metrics;
+* :mod:`repro.analysis` — paper-style report formatting.
+
+Quickstart::
+
+    from repro import build_core, build_surrogate
+
+    trace = build_surrogate("milc", num_uops=5_000)
+    core = build_core(trace, variant="pre")
+    stats = core.run()
+    print(stats.ipc, stats.runahead_invocations)
+"""
+
+from repro.core import (
+    VARIANT_LABELS,
+    VARIANTS,
+    PreciseRunaheadController,
+    RunaheadBufferController,
+    TraditionalRunaheadController,
+    build_controller,
+    build_core,
+)
+from repro.energy import EnergyModel, EnergyReport
+from repro.memory import HierarchyConfig, MemoryHierarchy
+from repro.simulation import (
+    ComparisonResult,
+    SimulationResult,
+    Simulator,
+    run_comparison,
+    run_performance_comparison,
+    run_variant,
+)
+from repro.uarch import CoreConfig, CoreStats, OoOCore
+from repro.workloads import (
+    MicroOp,
+    Trace,
+    UopClass,
+    build_surrogate,
+    surrogate_names,
+    surrogate_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "VARIANTS",
+    "VARIANT_LABELS",
+    "PreciseRunaheadController",
+    "RunaheadBufferController",
+    "TraditionalRunaheadController",
+    "build_controller",
+    "build_core",
+    "EnergyModel",
+    "EnergyReport",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "ComparisonResult",
+    "SimulationResult",
+    "Simulator",
+    "run_comparison",
+    "run_performance_comparison",
+    "run_variant",
+    "CoreConfig",
+    "CoreStats",
+    "OoOCore",
+    "MicroOp",
+    "Trace",
+    "UopClass",
+    "build_surrogate",
+    "surrogate_names",
+    "surrogate_suite",
+]

@@ -1,0 +1,17 @@
+"""Result analysis and paper-style report formatting."""
+
+from repro.analysis.report import (
+    format_energy_figure,
+    format_performance_figure,
+    format_table,
+    format_table1_configuration,
+    summarize_comparison,
+)
+
+__all__ = [
+    "format_energy_figure",
+    "format_performance_figure",
+    "format_table",
+    "format_table1_configuration",
+    "summarize_comparison",
+]

@@ -1,0 +1,98 @@
+"""Paper-style textual reports.
+
+The paper's evaluation artefacts are two bar charts (Figure 2: performance
+normalised to the baseline core; Figure 3: energy savings) and a configuration
+table (Table 1).  This module renders the same information as aligned text
+tables so that examples and benchmarks can print exactly the rows/series the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.simulation.experiment import ComparisonResult
+from repro.uarch.config import CoreConfig
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    value_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a nested mapping (row -> column -> value) as an aligned text table."""
+    if not rows:
+        return title or ""
+    columns: List[str] = []
+    for row_values in rows.values():
+        for column in row_values:
+            if column not in columns:
+                columns.append(column)
+    row_width = max(len(str(name)) for name in rows)
+    col_widths = {
+        column: max(len(column), 10)
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (row_width + 2) + "  ".join(column.rjust(col_widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_name, row_values in rows.items():
+        cells = []
+        for column in columns:
+            value = row_values.get(column)
+            text = value_format.format(value) if value is not None else "-"
+            cells.append(text.rjust(col_widths[column]))
+        lines.append(str(row_name).ljust(row_width + 2) + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_performance_figure(comparison: ComparisonResult) -> str:
+    """Render Figure 2: performance normalised to the out-of-order baseline."""
+    return format_table(
+        comparison.performance_table(),
+        value_format="{:.3f}",
+        title="Figure 2 - performance normalized to OoO (higher is better)",
+    )
+
+
+def format_energy_figure(comparison: ComparisonResult) -> str:
+    """Render Figure 3: energy savings relative to the out-of-order baseline."""
+    return format_table(
+        comparison.energy_table(),
+        value_format="{:+.1f}%",
+        title="Figure 3 - energy savings relative to OoO (positive = less energy)",
+    )
+
+
+def format_table1_configuration(config: Optional[CoreConfig] = None) -> str:
+    """Render Table 1: the baseline core configuration."""
+    config = config or CoreConfig()
+    summary = config.summary()
+    width = max(len(key) for key in summary)
+    lines = ["Table 1 - baseline configuration for the out-of-order core"]
+    for key, value in summary.items():
+        lines.append(f"{key.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def summarize_comparison(comparison: ComparisonResult) -> str:
+    """One-paragraph summary mirroring the paper's headline numbers."""
+    lines = []
+    for variant in comparison.variants:
+        if variant == "ooo":
+            continue
+        speedup = comparison.mean_speedup_percent(variant)
+        energy = comparison.mean_energy_savings_percent(variant)
+        invocations = (
+            comparison.mean_invocation_ratio(variant)
+            if variant in ("pre", "pre_emq")
+            else None
+        )
+        line = f"{variant:>16}: speedup {speedup:+6.1f}%, energy saving {energy:+5.1f}%"
+        if invocations:
+            line += f", {invocations:.2f}x more runahead invocations than RA"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""The paper's contribution: runahead controllers and their hardware structures.
+
+This package implements the four runahead configurations the paper evaluates
+(Section 5) on top of the baseline core in :mod:`repro.uarch`:
+
+* ``"ooo"`` — the baseline out-of-order core (no controller);
+* ``"runahead"`` — traditional runahead execution (RA) with the Mutlu et al.
+  short-interval optimisation;
+* ``"runahead_buffer"`` — filtered runahead with a runahead buffer (RA-buffer);
+* ``"pre"`` — Precise Runahead Execution;
+* ``"pre_emq"`` — PRE with the Extended Micro-op Queue optimisation.
+
+Use :func:`build_controller` or :func:`build_core` to construct them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import RunaheadController
+from repro.core.emq import ExtendedMicroOpQueue
+from repro.core.prdq import PRDQEntry, PreciseRegisterDeallocationQueue
+from repro.core.pre import PreciseRunaheadController
+from repro.core.runahead import TraditionalRunaheadController
+from repro.core.runahead_buffer import DependencyChain, RunaheadBufferController
+from repro.core.sst import StallingSliceTable
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import OoOCore
+from repro.workloads.trace import Trace
+
+#: The variant names accepted by :func:`build_controller` and :func:`build_core`,
+#: in the order the paper's figures present them.
+VARIANTS = ("ooo", "runahead", "runahead_buffer", "pre", "pre_emq")
+
+#: Human-readable labels used by reports, matching the paper's terminology.
+VARIANT_LABELS = {
+    "ooo": "OoO",
+    "runahead": "RA",
+    "runahead_buffer": "RA-buffer",
+    "pre": "PRE",
+    "pre_emq": "PRE+EMQ",
+}
+
+
+def build_controller(variant: str) -> Optional[RunaheadController]:
+    """Build the runahead controller for ``variant`` (``None`` for the baseline).
+
+    Raises
+    ------
+    ValueError
+        If ``variant`` is not one of :data:`VARIANTS`.
+    """
+    if variant == "ooo":
+        return None
+    if variant == "runahead":
+        return TraditionalRunaheadController()
+    if variant == "runahead_buffer":
+        return RunaheadBufferController()
+    if variant == "pre":
+        return PreciseRunaheadController(use_emq=False)
+    if variant == "pre_emq":
+        return PreciseRunaheadController(use_emq=True)
+    raise ValueError(f"unknown variant {variant!r}; expected one of {', '.join(VARIANTS)}")
+
+
+def build_core(
+    trace: Trace,
+    variant: str = "pre",
+    config: Optional[CoreConfig] = None,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+) -> OoOCore:
+    """Build a simulated core running ``trace`` with the given runahead variant."""
+    if hierarchy is None:
+        hierarchy = MemoryHierarchy(hierarchy_config)
+    controller = build_controller(variant)
+    return OoOCore(trace, config=config, hierarchy=hierarchy, controller=controller)
+
+
+__all__ = [
+    "VARIANTS",
+    "VARIANT_LABELS",
+    "RunaheadController",
+    "TraditionalRunaheadController",
+    "RunaheadBufferController",
+    "PreciseRunaheadController",
+    "StallingSliceTable",
+    "PreciseRegisterDeallocationQueue",
+    "PRDQEntry",
+    "ExtendedMicroOpQueue",
+    "DependencyChain",
+    "build_controller",
+    "build_core",
+]

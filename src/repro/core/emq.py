@@ -1,0 +1,82 @@
+"""Extended Micro-op Queue (EMQ).
+
+The optional PRE+EMQ configuration (Section 3.3) buffers *every* micro-op
+decoded during runahead mode — both the ones that hit in the SST and execute
+speculatively and the ones that are filtered out.  When the stalling load
+returns and normal execution resumes, these micro-ops are dispatched straight
+from the EMQ instead of being fetched and decoded a second time, saving
+front-end energy at the cost of bounding how far runahead execution can run
+(once the EMQ is full the core waits for the stalling load).
+
+The paper provisions 768 entries (4x the ROB size), about 3 KB of storage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
+
+from repro.uarch.frontend import FetchedUop
+
+
+@dataclass
+class EMQStats:
+    """Occupancy and throughput statistics."""
+
+    enqueued: int = 0
+    drained: int = 0
+    stalls_full: int = 0
+    peak_occupancy: int = 0
+
+
+class ExtendedMicroOpQueue:
+    """FIFO of decoded micro-ops captured during runahead mode."""
+
+    #: Bytes of storage per decoded micro-op (Section 3.6: 768 entries ~ 3 KB).
+    ENTRY_BYTES = 4
+
+    def __init__(self, capacity: int = 768) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.stats = EMQStats()
+        self._entries: Deque[FetchedUop] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether runahead execution must stall until the stalling load returns."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the queue holds no micro-ops."""
+        return not self._entries
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total SRAM storage required by the queue."""
+        return self.capacity * self.ENTRY_BYTES
+
+    def append(self, entry: FetchedUop) -> None:
+        """Record a micro-op decoded in runahead mode."""
+        if self.is_full:
+            self.stats.stalls_full += 1
+            raise OverflowError("EMQ overflow")
+        self._entries.append(entry)
+        self.stats.enqueued += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._entries))
+
+    def drain(self) -> List[FetchedUop]:
+        """Remove and return every buffered micro-op, oldest first (runahead exit)."""
+        entries = list(self._entries)
+        self._entries.clear()
+        self.stats.drained += len(entries)
+        return entries
+
+    def clear(self) -> None:
+        """Discard the queue contents without counting them as drained."""
+        self._entries.clear()

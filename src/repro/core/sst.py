@@ -1,0 +1,103 @@
+"""Stalling Slice Table (SST).
+
+The SST (Section 3.2) is a small fully-associative cache of instruction
+addresses (PCs): an instruction whose PC hits in the SST is part of a stalling
+slice — a backward dependency chain that leads to a long-latency load.
+
+The table is populated iteratively:
+
+1. whenever a load blocks the ROB (a full-window stall), its PC is inserted;
+2. whenever a decoded instruction hits in the SST, the PCs of the producers of
+   its source registers — read from the RAT's producer-PC extension — are
+   inserted as well.
+
+After a few loop iterations the SST therefore holds the complete slices of
+*all* stalling loads, which is what lets PRE prefetch across multiple distinct
+slices where the runahead buffer is limited to one.
+
+The paper provisions 256 entries with 4-byte tags (1 KB of storage) and
+reports that this captures stalling slices with almost no misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class SSTStats:
+    """Access statistics for the Stalling Slice Table."""
+
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class StallingSliceTable:
+    """Fully-associative, LRU-replaced cache of stalling-slice PCs."""
+
+    #: Bytes of storage per entry (4-byte PC tag, Section 3.6).
+    TAG_BYTES = 4
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.stats = SSTStats()
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._entries
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total SRAM storage required by the table (Section 3.6: 1 KB at 256 entries)."""
+        return self.capacity * self.TAG_BYTES
+
+    def lookup(self, pc: int) -> bool:
+        """Probe the table for ``pc``; update LRU order and statistics."""
+        self.stats.lookups += 1
+        if pc in self._entries:
+            self._entries.move_to_end(pc)
+            self.stats.hits += 1
+            return True
+        return False
+
+    def contains(self, pc: int) -> bool:
+        """Check membership without updating LRU order or statistics."""
+        return pc in self._entries
+
+    def insert(self, pc: int) -> Optional[int]:
+        """Insert ``pc``; return the evicted PC if the table was full."""
+        if pc in self._entries:
+            self._entries.move_to_end(pc)
+            return None
+        self.stats.inserts += 1
+        evicted: Optional[int] = None
+        if len(self._entries) >= self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[pc] = None
+        return evicted
+
+    def pcs(self) -> List[int]:
+        """All PCs currently in the table, LRU to MRU."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Remove every entry (the paper never clears the SST; provided for experiments)."""
+        self._entries.clear()

@@ -1,0 +1,98 @@
+"""McPAT-like per-event core and DRAM energy parameters.
+
+McPAT computes core power from per-structure activity counts.  This module
+fixes a set of per-event energies (picojoules per access) representative of a
+22 nm, ~2.7 GHz out-of-order core, and a breakdown container.  Absolute values
+are approximate; the evaluation only uses energy *relative to the baseline
+out-of-order core*, which depends on the ratio of extra runahead activity to
+total activity and on execution time (leakage), both of which the simulator
+measures directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-event dynamic energies (pJ) and static powers (W) of the modelled core."""
+
+    # Front end
+    fetch_pj: float = 14.0
+    decode_pj: float = 8.0
+    branch_prediction_pj: float = 2.0
+    # Rename / dispatch
+    rename_pj: float = 6.0
+    rob_write_pj: float = 4.0
+    rob_read_pj: float = 3.0
+    iq_write_pj: float = 4.0
+    iq_wakeup_pj: float = 2.5
+    # Register files and execution
+    regfile_read_pj: float = 1.6
+    regfile_write_pj: float = 2.4
+    int_op_pj: float = 6.0
+    fp_op_pj: float = 12.0
+    lsq_access_pj: float = 3.5
+    # Memory hierarchy
+    l1_access_pj: float = 22.0
+    l2_access_pj: float = 90.0
+    l3_access_pj: float = 260.0
+    dram_access_pj: float = 2600.0
+    # Static power
+    core_static_w: float = 1.15
+    llc_static_w: float = 0.35
+    dram_static_w: float = 0.55
+
+    def as_dict(self) -> Dict[str, float]:
+        """All parameters as a plain dictionary."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one simulation run, broken down by component (nanojoules)."""
+
+    frontend_nj: float = 0.0
+    rename_dispatch_nj: float = 0.0
+    issue_execute_nj: float = 0.0
+    regfile_nj: float = 0.0
+    lsq_nj: float = 0.0
+    cache_nj: float = 0.0
+    dram_dynamic_nj: float = 0.0
+    runahead_structures_nj: float = 0.0
+    core_static_nj: float = 0.0
+    dram_static_nj: float = 0.0
+
+    @property
+    def dynamic_nj(self) -> float:
+        """Total dynamic energy."""
+        return (
+            self.frontend_nj
+            + self.rename_dispatch_nj
+            + self.issue_execute_nj
+            + self.regfile_nj
+            + self.lsq_nj
+            + self.cache_nj
+            + self.dram_dynamic_nj
+            + self.runahead_structures_nj
+        )
+
+    @property
+    def static_nj(self) -> float:
+        """Total static (leakage) energy."""
+        return self.core_static_nj + self.dram_static_nj
+
+    @property
+    def total_nj(self) -> float:
+        """Total core + DRAM energy."""
+        return self.dynamic_nj + self.static_nj
+
+    def as_dict(self) -> Dict[str, float]:
+        """The breakdown as a dictionary, including the totals."""
+        data = dict(self.__dict__)
+        data["dynamic_nj"] = self.dynamic_nj
+        data["static_nj"] = self.static_nj
+        data["total_nj"] = self.total_nj
+        return data

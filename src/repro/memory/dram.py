@@ -1,0 +1,141 @@
+"""DDR3-like main-memory timing model.
+
+Models the DRAM parameters of Table 1: DDR3-1600 (800 MHz bus), 4 ranks,
+32 banks, 4 KB pages (row-buffer), 64-bit bus, tRP-tCL-tRCD = 11-11-11 memory
+cycles.  The model converts memory-clock timings to core cycles (2.66 GHz core)
+and accounts for row-buffer hits/misses and per-bank service occupancy, which
+is sufficient to capture the latency and bandwidth effects the paper's
+evaluation depends on (a few hundred core cycles per LLC miss, higher when
+banks conflict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DRAM organisation and timing parameters (Table 1)."""
+
+    core_frequency_ghz: float = 2.66
+    bus_frequency_mhz: float = 800.0
+    num_ranks: int = 4
+    num_banks: int = 32
+    page_bytes: int = 4096
+    bus_bytes: int = 8
+    trp: int = 11
+    tcl: int = 11
+    trcd: int = 11
+    #: Fixed controller + interconnect overhead added to every request, in core cycles.
+    controller_latency_cycles: int = 40
+    #: Data-burst occupancy of a 64-byte line transfer, in memory cycles.
+    burst_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0 or self.num_ranks <= 0:
+            raise ValueError("bank/rank counts must be positive")
+        if self.core_frequency_ghz <= 0 or self.bus_frequency_mhz <= 0:
+            raise ValueError("frequencies must be positive")
+
+    @property
+    def core_cycles_per_memory_cycle(self) -> float:
+        """Ratio between core and memory-bus clock periods."""
+        return (self.core_frequency_ghz * 1000.0) / self.bus_frequency_mhz
+
+    def to_core_cycles(self, memory_cycles: float) -> int:
+        """Convert a number of memory-bus cycles to core cycles (rounded up)."""
+        value = memory_cycles * self.core_cycles_per_memory_cycle
+        return int(value) + (0 if value == int(value) else 1)
+
+
+@dataclass
+class DRAMStats:
+    """Access statistics for the DRAM model."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    total_latency_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of DRAM requests."""
+        return self.reads + self.writes
+
+    @property
+    def average_latency(self) -> float:
+        """Average request latency in core cycles."""
+        return self.total_latency_cycles / self.accesses if self.accesses else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of requests that hit in an open row buffer."""
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class DRAMModel:
+    """Bank-aware DRAM latency model.
+
+    ``access`` returns the number of core cycles from request issue until the
+    critical word is available at the memory controller.  Each bank serialises
+    its requests: a request arriving while its bank is busy waits for the bank
+    to free up first.
+    """
+
+    def __init__(self, config: DRAMConfig = DRAMConfig()) -> None:
+        self.config = config
+        self.stats = DRAMStats()
+        self._open_row: Dict[int, int] = {}
+        self._bank_free_at: Dict[int, int] = {}
+
+    def _bank_and_row(self, addr: int) -> tuple:
+        page = addr // self.config.page_bytes
+        # XOR-fold higher page bits into the bank index, as real memory
+        # controllers do, so that regularly-strided streams do not all alias
+        # onto the same bank.
+        bank = (page ^ (page // self.config.num_banks)) % self.config.num_banks
+        row = page // self.config.num_banks
+        return bank, row
+
+    def access(self, addr: int, cycle: int, is_write: bool = False) -> int:
+        """Issue a request at ``cycle``; return its latency in core cycles."""
+        config = self.config
+        bank, row = self._bank_and_row(addr)
+
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        if self._open_row.get(bank) == row:
+            self.stats.row_hits += 1
+            array_cycles = config.tcl
+            # Back-to-back accesses to an open row stream at the burst rate;
+            # only the data transfer occupies the bank.
+            occupancy_cycles = config.burst_cycles
+        else:
+            self.stats.row_misses += 1
+            array_cycles = config.trp + config.trcd + config.tcl
+            # A row miss keeps the bank busy for precharge + activate + burst.
+            occupancy_cycles = config.trp + config.trcd + config.burst_cycles
+            self._open_row[bank] = row
+
+        access_cycles = config.to_core_cycles(array_cycles + config.burst_cycles)
+        service_cycles = config.to_core_cycles(occupancy_cycles)
+
+        start = max(cycle, self._bank_free_at.get(bank, 0))
+        queue_delay = start - cycle
+        self._bank_free_at[bank] = start + service_cycles
+
+        latency = config.controller_latency_cycles + queue_delay + access_cycles
+        self.stats.total_latency_cycles += latency
+        return latency
+
+    def reset(self) -> None:
+        """Clear open-row and bank-occupancy state and statistics."""
+        self.stats = DRAMStats()
+        self._open_row.clear()
+        self._bank_free_at.clear()

@@ -1,0 +1,277 @@
+"""The composed memory hierarchy: L1I/L1D, private L2, shared L3, DRAM, MSHRs.
+
+Geometry and latencies default to Table 1 of the paper.  The hierarchy is a
+timing model at cache-line granularity:
+
+* an access returns an :class:`AccessResult` whose ``latency`` is the number
+  of core cycles until the data is available;
+* outstanding fills are tracked per line, so any access to a line already in
+  flight (a demand load hitting under a runahead prefetch, or two runahead
+  loads to the same line) observes only the *remaining* latency;
+* the number of distinct lines in flight is bounded by the MSHR file, which
+  bounds exploitable memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.memory.dram import DRAMConfig, DRAMModel
+from repro.memory.mshr import MSHRFile
+from repro.memory.prefetcher import NextLinePrefetcher, StridePrefetcher
+
+
+class MemoryLevel(enum.Enum):
+    """The level of the hierarchy that serviced an access."""
+
+    L1I = "L1I"
+    L1D = "L1D"
+    L2 = "L2"
+    L3 = "L3"
+    DRAM = "DRAM"
+    INFLIGHT = "inflight"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a memory access.
+
+    Attributes
+    ----------
+    latency:
+        Core cycles until the data is available.
+    level:
+        Hierarchy level that services the request (``INFLIGHT`` when merged
+        with an outstanding fill).
+    is_long_latency:
+        True when the request is (or merged with) an off-chip DRAM access —
+        the class of loads that cause full-window stalls in the paper.
+    retried:
+        True when the access could not be started because the MSHR file was
+        full; the caller must retry on a later cycle.
+    """
+
+    latency: int
+    level: MemoryLevel
+    is_long_latency: bool = False
+    retried: bool = False
+
+
+@dataclass
+class HierarchyConfig:
+    """Configuration of the full memory hierarchy (defaults follow Table 1)."""
+
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1I", 32 * 1024, 4, latency=2)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 32 * 1024, 8, latency=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 256 * 1024, 8, latency=8)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L3", 1024 * 1024, 16, latency=30)
+    )
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    mshr_entries: int = 32
+    #: MSHR entries that prefetches (runahead loads included) may never take,
+    #: so speculative traffic cannot starve demand misses.
+    mshr_demand_reserve: int = 4
+    #: Optional hardware prefetcher trained on L1D demand accesses ("none",
+    #: "nextline" or "stride").  The paper's baseline uses none.
+    prefetcher: str = "none"
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics across the hierarchy."""
+
+    data_accesses: int = 0
+    instruction_accesses: int = 0
+    prefetch_accesses: int = 0
+    long_latency_accesses: int = 0
+    mshr_stalls: int = 0
+
+
+class MemoryHierarchy:
+    """Three-level cache hierarchy with DRAM backing store and MSHR tracking."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.l1i = SetAssociativeCache(self.config.l1i)
+        self.l1d = SetAssociativeCache(self.config.l1d)
+        self.l2 = SetAssociativeCache(self.config.l2)
+        self.l3 = SetAssociativeCache(self.config.l3)
+        self.dram = DRAMModel(self.config.dram)
+        self.mshrs = MSHRFile(self.config.mshr_entries, self.config.l1d.line_bytes)
+        self.stats = HierarchyStats()
+        # line number -> (completion cycle, was a DRAM access)
+        self._inflight: Dict[int, Tuple[int, bool]] = {}
+        if self.config.prefetcher == "nextline":
+            self.prefetcher = NextLinePrefetcher(self.config.l1d.line_bytes)
+        elif self.config.prefetcher == "stride":
+            self.prefetcher = StridePrefetcher(self.config.l1d.line_bytes)
+        elif self.config.prefetcher == "none":
+            self.prefetcher = None
+        else:
+            raise ValueError(f"unknown prefetcher kind {self.config.prefetcher!r}")
+
+    # ------------------------------------------------------------------ utils
+
+    def _line(self, addr: int) -> int:
+        return addr // self.config.l1d.line_bytes
+
+    def _expire_inflight(self, cycle: int) -> None:
+        done = [line for line, (completion, _) in self._inflight.items() if completion <= cycle]
+        for line in done:
+            del self._inflight[line]
+
+    def inflight_lines(self, cycle: int) -> int:
+        """Number of line fills still outstanding at ``cycle``."""
+        self._expire_inflight(cycle)
+        return len(self._inflight)
+
+    # ----------------------------------------------------------------- access
+
+    def access_data(
+        self,
+        addr: int,
+        cycle: int,
+        is_write: bool = False,
+        is_prefetch: bool = False,
+        pc: int = 0,
+    ) -> AccessResult:
+        """Access the data hierarchy for the line containing ``addr``.
+
+        Writes model committed stores (write-allocate, write-back); they mark
+        the L1D line dirty.  Prefetch accesses behave like loads but are
+        dropped (``retried=True``) rather than stalled when the MSHR file is
+        full.
+        """
+        self.stats.data_accesses += 1
+        if is_prefetch:
+            self.stats.prefetch_accesses += 1
+        self._expire_inflight(cycle)
+        line = self._line(addr)
+
+        inflight = self._inflight.get(line)
+        if inflight is not None:
+            completion, was_dram = inflight
+            remaining = max(completion - cycle, 1)
+            latency = max(remaining, self.config.l1d.latency)
+            if was_dram:
+                self.stats.long_latency_accesses += 1
+            return AccessResult(latency, MemoryLevel.INFLIGHT, is_long_latency=was_dram)
+
+        if self.l1d.lookup(addr, is_write=is_write):
+            self._train_prefetcher(pc, addr, cycle)
+            return AccessResult(self.config.l1d.latency, MemoryLevel.L1D)
+
+        # L1D miss: need an MSHR for the fill.  Prefetches may not take the
+        # last few entries, which are reserved for demand misses.
+        limit = self.config.mshr_entries
+        if is_prefetch:
+            limit = max(1, limit - self.config.mshr_demand_reserve)
+        if self.mshrs.occupancy(cycle) >= limit:
+            self.stats.mshr_stalls += 1
+            return AccessResult(0, MemoryLevel.L1D, retried=True)
+
+        latency = self.config.l1d.latency
+        if self.l2.lookup(addr):
+            latency += self.config.l2.latency
+            level = MemoryLevel.L2
+        elif self.l3.lookup(addr):
+            latency += self.config.l2.latency + self.config.l3.latency
+            level = MemoryLevel.L3
+            self._fill(self.l2, addr)
+        else:
+            dram_latency = self.dram.access(addr, cycle, is_write=False)
+            latency += self.config.l2.latency + self.config.l3.latency + dram_latency
+            level = MemoryLevel.DRAM
+            self.stats.long_latency_accesses += 1
+            self._fill(self.l3, addr)
+            self._fill(self.l2, addr)
+
+        self._fill(self.l1d, addr, dirty=is_write, is_prefetch=is_prefetch)
+        completion = cycle + latency
+        self._inflight[line] = (completion, level is MemoryLevel.DRAM)
+        self.mshrs.allocate(addr, completion, cycle)
+        self._train_prefetcher(pc, addr, cycle)
+        return AccessResult(latency, level, is_long_latency=level is MemoryLevel.DRAM)
+
+    def access_instruction(self, pc: int, cycle: int) -> AccessResult:
+        """Access the instruction side of the hierarchy for the line containing ``pc``."""
+        self.stats.instruction_accesses += 1
+        if self.l1i.lookup(pc):
+            return AccessResult(self.config.l1i.latency, MemoryLevel.L1I)
+        latency = self.config.l1i.latency
+        if self.l2.lookup(pc):
+            latency += self.config.l2.latency
+            level = MemoryLevel.L2
+        elif self.l3.lookup(pc):
+            latency += self.config.l2.latency + self.config.l3.latency
+            level = MemoryLevel.L3
+            self._fill(self.l2, pc)
+        else:
+            latency += (
+                self.config.l2.latency
+                + self.config.l3.latency
+                + self.dram.access(pc, cycle, is_write=False)
+            )
+            level = MemoryLevel.DRAM
+            self._fill(self.l3, pc)
+            self._fill(self.l2, pc)
+        self._fill(self.l1i, pc)
+        return AccessResult(latency, level)
+
+    # ------------------------------------------------------------------ fills
+
+    def _fill(self, cache: SetAssociativeCache, addr: int, dirty: bool = False,
+              is_prefetch: bool = False) -> None:
+        writeback = cache.fill(addr, dirty=dirty, is_prefetch=is_prefetch)
+        if writeback is not None and cache is self.l3:
+            # Dirty L3 victims go to DRAM; timing is fire-and-forget, but the
+            # write occupies a bank for bandwidth/energy accounting.
+            self.dram.access(writeback, 0, is_write=True)
+
+    def _train_prefetcher(self, pc: int, addr: int, cycle: int) -> None:
+        if self.prefetcher is None:
+            return
+        for target in self.prefetcher.train(pc, addr):
+            line = self._line(target)
+            if line in self._inflight or self.l1d.contains(target):
+                continue
+            if self.mshrs.is_full(cycle):
+                break
+            result_latency = self.config.l1d.latency
+            if self.l2.lookup(target):
+                result_latency += self.config.l2.latency
+                was_dram = False
+            elif self.l3.lookup(target):
+                result_latency += self.config.l2.latency + self.config.l3.latency
+                self._fill(self.l2, target)
+                was_dram = False
+            else:
+                result_latency += (
+                    self.config.l2.latency
+                    + self.config.l3.latency
+                    + self.dram.access(target, cycle)
+                )
+                self._fill(self.l3, target)
+                self._fill(self.l2, target)
+                was_dram = True
+            self._fill(self.l1d, target, is_prefetch=True)
+            completion = cycle + result_latency
+            self._inflight[line] = (completion, was_dram)
+            self.mshrs.allocate(target, completion, cycle)
+
+    def warm(self, addresses, dirty: bool = False) -> None:
+        """Pre-install lines in all cache levels (useful for tests and warm-up)."""
+        for addr in addresses:
+            self._fill(self.l3, addr)
+            self._fill(self.l2, addr)
+            self._fill(self.l1d, addr, dirty=dirty)

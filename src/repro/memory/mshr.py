@@ -1,0 +1,88 @@
+"""Miss Status Holding Registers (MSHRs).
+
+The MSHR file bounds the number of distinct cache lines that may be in flight
+from the memory system at once — i.e. it bounds the memory-level parallelism
+the core (and runahead execution) can expose.  Requests to a line that is
+already outstanding merge with the existing entry and observe only the
+remaining latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class MSHRStats:
+    """Counters describing MSHR behaviour."""
+
+    allocations: int = 0
+    merges: int = 0
+    full_rejections: int = 0
+    peak_occupancy: int = 0
+
+
+class MSHRFile:
+    """Tracks outstanding line fills, with merging and a capacity limit."""
+
+    def __init__(self, num_entries: int = 32, line_bytes: int = 64) -> None:
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        self.num_entries = num_entries
+        self.line_bytes = line_bytes
+        self.stats = MSHRStats()
+        # line number -> cycle at which the fill completes
+        self._inflight: Dict[int, int] = {}
+
+    def _line(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def _expire(self, cycle: int) -> None:
+        expired = [line for line, done in self._inflight.items() if done <= cycle]
+        for line in expired:
+            del self._inflight[line]
+
+    def occupancy(self, cycle: int) -> int:
+        """Number of fills still outstanding at ``cycle``."""
+        self._expire(cycle)
+        return len(self._inflight)
+
+    def is_full(self, cycle: int) -> bool:
+        """Whether a new (non-merging) miss would be rejected at ``cycle``."""
+        return self.occupancy(cycle) >= self.num_entries
+
+    def outstanding_completion(self, addr: int, cycle: int) -> Optional[int]:
+        """Completion cycle of an in-flight fill covering ``addr``, or ``None``."""
+        self._expire(cycle)
+        return self._inflight.get(self._line(addr))
+
+    def allocate(self, addr: int, completion_cycle: int, cycle: int) -> bool:
+        """Record a new outstanding fill.
+
+        Returns False (and counts a rejection) if the MSHR file is full and the
+        line is not already outstanding; the caller must retry later.
+        """
+        self._expire(cycle)
+        line = self._line(addr)
+        if line in self._inflight:
+            self.stats.merges += 1
+            return True
+        if len(self._inflight) >= self.num_entries:
+            self.stats.full_rejections += 1
+            return False
+        self._inflight[line] = completion_cycle
+        self.stats.allocations += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._inflight))
+        return True
+
+    def merge(self, addr: int, cycle: int) -> Optional[int]:
+        """Merge a request with an outstanding fill; return its completion cycle."""
+        completion = self.outstanding_completion(addr, cycle)
+        if completion is not None:
+            self.stats.merges += 1
+        return completion
+
+    def clear(self) -> None:
+        """Drop all outstanding entries (used when resetting the hierarchy)."""
+        self._inflight.clear()

@@ -1,0 +1,90 @@
+"""Hardware prefetchers.
+
+The paper's baseline core does not include a hardware prefetcher (runahead
+execution itself plays that role), but a next-line and a stride prefetcher are
+provided so that ablation experiments can compare runahead techniques against
+and alongside conventional prefetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PrefetcherStats:
+    """Counters describing prefetcher behaviour."""
+
+    trainings: int = 0
+    prefetches_issued: int = 0
+
+
+class NextLinePrefetcher:
+    """Prefetch the ``degree`` lines following every demand access."""
+
+    def __init__(self, line_bytes: int = 64, degree: int = 1) -> None:
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        self.line_bytes = line_bytes
+        self.degree = degree
+        self.stats = PrefetcherStats()
+
+    def train(self, pc: int, addr: int) -> List[int]:
+        """Observe a demand access; return addresses to prefetch."""
+        self.stats.trainings += 1
+        base = (addr // self.line_bytes) * self.line_bytes
+        targets = [base + (i + 1) * self.line_bytes for i in range(self.degree)]
+        self.stats.prefetches_issued += len(targets)
+        return targets
+
+
+class StridePrefetcher:
+    """Classic per-PC stride prefetcher with a small reference-prediction table."""
+
+    def __init__(
+        self,
+        line_bytes: int = 64,
+        table_entries: int = 64,
+        degree: int = 2,
+        confidence_threshold: int = 2,
+    ) -> None:
+        if table_entries <= 0:
+            raise ValueError("table_entries must be positive")
+        self.line_bytes = line_bytes
+        self.table_entries = table_entries
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self.stats = PrefetcherStats()
+        # pc -> (last_addr, stride, confidence)
+        self._table: Dict[int, List[int]] = {}
+        self._lru: List[int] = []
+
+    def _touch(self, pc: int) -> None:
+        if pc in self._lru:
+            self._lru.remove(pc)
+        self._lru.append(pc)
+        while len(self._lru) > self.table_entries:
+            evicted = self._lru.pop(0)
+            self._table.pop(evicted, None)
+
+    def train(self, pc: int, addr: int) -> List[int]:
+        """Observe a demand access from ``pc``; return addresses to prefetch."""
+        self.stats.trainings += 1
+        entry = self._table.get(pc)
+        targets: List[int] = []
+        if entry is None:
+            self._table[pc] = [addr, 0, 0]
+        else:
+            last_addr, stride, confidence = entry
+            new_stride = addr - last_addr
+            if new_stride == stride and stride != 0:
+                confidence = min(confidence + 1, self.confidence_threshold + 1)
+            else:
+                confidence = 0
+            self._table[pc] = [addr, new_stride, confidence]
+            if confidence >= self.confidence_threshold and new_stride != 0:
+                targets = [addr + new_stride * (i + 1) for i in range(self.degree)]
+                self.stats.prefetches_issued += len(targets)
+        self._touch(pc)
+        return targets

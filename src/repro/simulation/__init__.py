@@ -1,0 +1,33 @@
+"""Simulation drivers: single runs, variant comparisons, and derived metrics."""
+
+from repro.simulation.simulator import SimulationResult, Simulator, run_variant
+from repro.simulation.experiment import (
+    BenchmarkResult,
+    ComparisonResult,
+    run_comparison,
+    run_performance_comparison,
+)
+from repro.simulation.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    interval_length_histogram,
+    invocation_ratio,
+    normalized_performance,
+    speedup_percent,
+)
+
+__all__ = [
+    "SimulationResult",
+    "Simulator",
+    "run_variant",
+    "BenchmarkResult",
+    "ComparisonResult",
+    "run_comparison",
+    "run_performance_comparison",
+    "arithmetic_mean",
+    "geometric_mean",
+    "interval_length_histogram",
+    "invocation_ratio",
+    "normalized_performance",
+    "speedup_percent",
+]

@@ -1,0 +1,178 @@
+"""Experiment runner: compare runahead variants across a workload suite.
+
+``run_comparison`` simulates every (benchmark, variant) pair and returns a
+:class:`ComparisonResult` that can answer the questions the paper's evaluation
+asks: per-benchmark and mean performance normalised to the baseline core
+(Figure 2), per-benchmark and mean energy savings (Figure 3), runahead
+invocation ratios (Section 5.1), interval-length statistics (Section 2.4) and
+free-resource statistics (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core import VARIANT_LABELS, VARIANTS
+from repro.simulation.metrics import (
+    arithmetic_mean,
+    energy_savings_percent,
+    geometric_mean,
+    invocation_ratio,
+    normalized_performance,
+)
+from repro.simulation.simulator import SimulationResult, Simulator
+from repro.uarch.config import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class BenchmarkResult:
+    """All variant results for one benchmark."""
+
+    benchmark: str
+    results: Dict[str, SimulationResult]
+
+    @property
+    def baseline(self) -> SimulationResult:
+        """The out-of-order baseline run."""
+        return self.results["ooo"]
+
+    def normalized_performance(self, variant: str) -> float:
+        """Performance of ``variant`` normalised to the baseline (Figure 2)."""
+        return normalized_performance(self.results[variant].stats, self.baseline.stats)
+
+    def speedup_percent(self, variant: str) -> float:
+        """Speedup of ``variant`` over the baseline, in percent."""
+        return (self.normalized_performance(variant) - 1.0) * 100.0
+
+    def energy_savings_percent(self, variant: str) -> float:
+        """Energy saving of ``variant`` relative to the baseline, in percent (Figure 3)."""
+        return energy_savings_percent(
+            self.results[variant].energy.total_nj, self.baseline.energy.total_nj
+        )
+
+    def invocation_ratio(self, variant: str, reference: str = "runahead") -> float:
+        """Runahead invocation count of ``variant`` relative to ``reference``."""
+        return invocation_ratio(self.results[variant].stats, self.results[reference].stats)
+
+
+@dataclass
+class ComparisonResult:
+    """Results of a full suite x variants comparison."""
+
+    benchmarks: List[BenchmarkResult]
+    variants: Sequence[str]
+
+    def benchmark(self, name: str) -> BenchmarkResult:
+        """Result for one benchmark by name."""
+        for result in self.benchmarks:
+            if result.benchmark == name:
+                return result
+        raise KeyError(f"no benchmark named {name!r}")
+
+    def benchmark_names(self) -> List[str]:
+        """Names of all benchmarks in the comparison."""
+        return [result.benchmark for result in self.benchmarks]
+
+    # ------------------------------------------------------------ aggregates
+
+    def mean_normalized_performance(self, variant: str, geometric: bool = False) -> float:
+        """Suite-average normalised performance of ``variant`` (Figure 2's AVG bar)."""
+        values = [result.normalized_performance(variant) for result in self.benchmarks]
+        return geometric_mean(values) if geometric else arithmetic_mean(values)
+
+    def mean_speedup_percent(self, variant: str, geometric: bool = False) -> float:
+        """Suite-average speedup of ``variant`` in percent."""
+        return (self.mean_normalized_performance(variant, geometric=geometric) - 1.0) * 100.0
+
+    def mean_energy_savings_percent(self, variant: str) -> float:
+        """Suite-average energy saving of ``variant`` in percent (Figure 3's AVG bar)."""
+        values = [result.energy_savings_percent(variant) for result in self.benchmarks]
+        return arithmetic_mean(values)
+
+    def mean_invocation_ratio(self, variant: str, reference: str = "runahead") -> float:
+        """Suite-average runahead invocation ratio (Section 5.1 statistic)."""
+        values = []
+        for result in self.benchmarks:
+            ratio = result.invocation_ratio(variant, reference)
+            if ratio not in (0.0, float("inf")):
+                values.append(ratio)
+        return arithmetic_mean(values)
+
+    # --------------------------------------------------------------- tables
+
+    def performance_table(self) -> Dict[str, Dict[str, float]]:
+        """Figure 2 as a nested dict: benchmark -> variant label -> normalised performance."""
+        table: Dict[str, Dict[str, float]] = {}
+        for result in self.benchmarks:
+            table[result.benchmark] = {
+                VARIANT_LABELS[variant]: result.normalized_performance(variant)
+                for variant in self.variants
+                if variant != "ooo"
+            }
+        table["average"] = {
+            VARIANT_LABELS[variant]: self.mean_normalized_performance(variant)
+            for variant in self.variants
+            if variant != "ooo"
+        }
+        return table
+
+    def energy_table(self) -> Dict[str, Dict[str, float]]:
+        """Figure 3 as a nested dict: benchmark -> variant label -> energy saving (percent)."""
+        table: Dict[str, Dict[str, float]] = {}
+        for result in self.benchmarks:
+            table[result.benchmark] = {
+                VARIANT_LABELS[variant]: result.energy_savings_percent(variant)
+                for variant in self.variants
+                if variant != "ooo"
+            }
+        table["average"] = {
+            VARIANT_LABELS[variant]: self.mean_energy_savings_percent(variant)
+            for variant in self.variants
+            if variant != "ooo"
+        }
+        return table
+
+
+def run_comparison(
+    traces: Iterable[Trace],
+    variants: Sequence[str] = VARIANTS,
+    config: Optional[CoreConfig] = None,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    max_cycles: Optional[int] = None,
+) -> ComparisonResult:
+    """Simulate every trace on every variant and collect the results.
+
+    The baseline variant ``"ooo"`` is always included (it is needed for
+    normalisation) even if absent from ``variants``.
+    """
+    variant_list = list(variants)
+    if "ooo" not in variant_list:
+        variant_list.insert(0, "ooo")
+    simulator = Simulator(config=config, hierarchy_config=hierarchy_config)
+    benchmarks: List[BenchmarkResult] = []
+    for trace in traces:
+        results = {
+            variant: simulator.run(trace, variant=variant, max_cycles=max_cycles)
+            for variant in variant_list
+        }
+        benchmarks.append(BenchmarkResult(benchmark=trace.name, results=results))
+    return ComparisonResult(benchmarks=benchmarks, variants=variant_list)
+
+
+def run_performance_comparison(
+    traces: Iterable[Trace],
+    config: Optional[CoreConfig] = None,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    max_cycles: Optional[int] = None,
+) -> ComparisonResult:
+    """Shorthand for :func:`run_comparison` over all five variants."""
+    return run_comparison(
+        traces,
+        variants=VARIANTS,
+        config=config,
+        hierarchy_config=hierarchy_config,
+        max_cycles=max_cycles,
+    )

@@ -1,0 +1,86 @@
+"""Derived metrics shared by experiments, reports and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.uarch.stats import CoreStats
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average; 0 for an empty sequence."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; 0 for an empty sequence.  All values must be positive."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def normalized_performance(variant_stats: CoreStats, baseline_stats: CoreStats) -> float:
+    """Performance of a variant normalised to the baseline (Figure 2's y-axis).
+
+    Both runs commit the same trace, so the ratio of cycle counts equals the
+    ratio of IPCs.
+    """
+    if variant_stats.cycles == 0:
+        return 0.0
+    return baseline_stats.cycles / variant_stats.cycles
+
+
+def speedup_percent(variant_stats: CoreStats, baseline_stats: CoreStats) -> float:
+    """Percentage performance improvement over the baseline."""
+    return (normalized_performance(variant_stats, baseline_stats) - 1.0) * 100.0
+
+
+def invocation_ratio(variant_stats: CoreStats, reference_stats: CoreStats) -> float:
+    """Ratio of runahead invocations between two variants (Section 5.1 statistic)."""
+    if reference_stats.runahead_invocations == 0:
+        return float("inf") if variant_stats.runahead_invocations else 0.0
+    return variant_stats.runahead_invocations / reference_stats.runahead_invocations
+
+
+def interval_length_histogram(
+    stats: CoreStats, bin_edges: Iterable[int] = (20, 50, 100, 200, 500)
+) -> Dict[str, int]:
+    """Histogram of runahead interval lengths (Section 2.4 characterisation).
+
+    Returns a mapping from human-readable bin label to interval count, with
+    one final open-ended bin.
+    """
+    edges: List[int] = sorted(bin_edges)
+    labels = [f"<{edges[0]}"]
+    labels += [f"{low}-{high - 1}" for low, high in zip(edges, edges[1:])]
+    labels += [f">={edges[-1]}"]
+    counts = {label: 0 for label in labels}
+    for interval in stats.intervals:
+        if interval.exit_cycle < 0:
+            continue
+        length = interval.length
+        placed = False
+        if length < edges[0]:
+            counts[labels[0]] += 1
+            placed = True
+        else:
+            for index, (low, high) in enumerate(zip(edges, edges[1:])):
+                if low <= length < high:
+                    counts[labels[index + 1]] += 1
+                    placed = True
+                    break
+        if not placed:
+            counts[labels[-1]] += 1
+    return counts
+
+
+def energy_savings_percent(variant_total_nj: float, baseline_total_nj: float) -> float:
+    """Percentage energy saving relative to the baseline (Figure 3's y-axis)."""
+    if baseline_total_nj == 0:
+        return 0.0
+    return (1.0 - variant_total_nj / baseline_total_nj) * 100.0

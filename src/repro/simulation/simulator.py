@@ -1,0 +1,146 @@
+"""Single-run simulation driver.
+
+``run_variant`` (or the :class:`Simulator` convenience wrapper) builds a fresh
+memory hierarchy and core for one (trace, variant) pair, runs it to
+completion, evaluates the energy model, and returns everything an experiment
+needs in a :class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core import VARIANT_LABELS, VARIANTS, build_controller
+from repro.core.pre import PreciseRunaheadController
+from repro.core.runahead_buffer import RunaheadBufferController
+from repro.energy.cacti import SRAMModel
+from repro.energy.model import EnergyModel, EnergyReport
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import OoOCore
+from repro.uarch.stats import CoreStats
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured from one (trace, variant) simulation."""
+
+    variant: str
+    trace_name: str
+    stats: CoreStats
+    energy: EnergyReport
+    config: CoreConfig
+
+    @property
+    def label(self) -> str:
+        """The paper's label for this variant (OoO, RA, RA-buffer, PRE, PRE+EMQ)."""
+        return VARIANT_LABELS.get(self.variant, self.variant)
+
+    @property
+    def cycles(self) -> int:
+        """Total simulated cycles."""
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        """Committed micro-ops per cycle."""
+        return self.stats.ipc
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Total core + DRAM energy in nanojoules."""
+        return self.energy.total_nj
+
+
+def _runahead_sram_models(core: OoOCore) -> Dict[str, SRAMModel]:
+    """SRAM models for the runahead structures present in ``core``'s controller."""
+    models: Dict[str, SRAMModel] = {}
+    controller = core.controller
+    if isinstance(controller, PreciseRunaheadController):
+        if controller.sst is not None:
+            models["sst"] = SRAMModel(
+                "sst", controller.sst.storage_bytes, read_ports=8, write_ports=2
+            )
+        if controller.prdq is not None:
+            models["prdq"] = SRAMModel(
+                "prdq", controller.prdq.storage_bytes, read_ports=4, write_ports=4
+            )
+        if controller.emq is not None:
+            models["emq"] = SRAMModel(
+                "emq", controller.emq.storage_bytes, read_ports=4, write_ports=4
+            )
+    if isinstance(controller, RunaheadBufferController):
+        chain_bytes = (controller._max_chain_length or 32) * 8
+        models["runahead_buffer"] = SRAMModel("runahead_buffer", max(chain_bytes, 64))
+    return models
+
+
+def run_variant(
+    trace: Trace,
+    variant: str = "pre",
+    config: Optional[CoreConfig] = None,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    energy_model: Optional[EnergyModel] = None,
+    max_cycles: Optional[int] = None,
+) -> SimulationResult:
+    """Simulate ``trace`` on one runahead variant and return its results."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {', '.join(VARIANTS)}")
+    config = config or CoreConfig()
+    hierarchy = MemoryHierarchy(hierarchy_config)
+    controller = build_controller(variant)
+    core = OoOCore(trace, config=config, hierarchy=hierarchy, controller=controller)
+    stats = core.run(max_cycles=max_cycles)
+    model = energy_model or EnergyModel()
+    report = model.evaluate(
+        variant=variant,
+        stats=stats,
+        hierarchy=hierarchy,
+        config=config,
+        extra_sram=_runahead_sram_models(core),
+    )
+    return SimulationResult(
+        variant=variant,
+        trace_name=trace.name,
+        stats=stats,
+        energy=report,
+        config=config,
+    )
+
+
+class Simulator:
+    """Convenience wrapper that reuses one configuration across many runs."""
+
+    def __init__(
+        self,
+        config: Optional[CoreConfig] = None,
+        hierarchy_config: Optional[HierarchyConfig] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> None:
+        self.config = config or CoreConfig()
+        self.hierarchy_config = hierarchy_config
+        self.energy_model = energy_model or EnergyModel()
+
+    def run(
+        self, trace: Trace, variant: str = "pre", max_cycles: Optional[int] = None
+    ) -> SimulationResult:
+        """Simulate one trace on one variant."""
+        return run_variant(
+            trace,
+            variant=variant,
+            config=self.config,
+            hierarchy_config=self.hierarchy_config,
+            energy_model=self.energy_model,
+            max_cycles=max_cycles,
+        )
+
+    def run_all_variants(
+        self, trace: Trace, variants=VARIANTS, max_cycles: Optional[int] = None
+    ) -> Dict[str, SimulationResult]:
+        """Simulate one trace on every requested variant."""
+        return {
+            variant: self.run(trace, variant=variant, max_cycles=max_cycles)
+            for variant in variants
+        }

@@ -1,0 +1,38 @@
+"""Out-of-order core substrate.
+
+A cycle-level model of a modern out-of-order core with the structure sizes of
+Table 1 in the paper: 192-entry ROB, 92-entry issue queue, 64-entry load and
+store queues, 4-wide rename/dispatch/issue/commit, an 8-stage front-end
+delivering up to 8 micro-ops per cycle, and 168 integer + 168 floating-point
+physical registers.  Runahead techniques plug into the core through the
+controller interface in :mod:`repro.core`.
+"""
+
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import DynInstr, ExecutionMode, OoOCore
+from repro.uarch.branch import GShareBranchPredictor
+from repro.uarch.frontend import FrontEnd
+from repro.uarch.isa import execution_latency
+from repro.uarch.issue_queue import IssueQueue
+from repro.uarch.lsq import LoadStoreQueues
+from repro.uarch.regfile import PhysicalRegisterFile
+from repro.uarch.rename import RATCheckpoint, RegisterAliasTable
+from repro.uarch.rob import ReorderBuffer
+from repro.uarch.stats import CoreStats
+
+__all__ = [
+    "CoreConfig",
+    "CoreStats",
+    "DynInstr",
+    "ExecutionMode",
+    "FrontEnd",
+    "GShareBranchPredictor",
+    "IssueQueue",
+    "LoadStoreQueues",
+    "OoOCore",
+    "PhysicalRegisterFile",
+    "RATCheckpoint",
+    "RegisterAliasTable",
+    "ReorderBuffer",
+    "execution_latency",
+]

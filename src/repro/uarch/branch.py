@@ -1,0 +1,64 @@
+"""Branch prediction.
+
+A gshare predictor with 2-bit saturating counters.  The simulator is
+trace-driven, so wrong-path instructions are never executed; instead a
+mispredicted branch stalls the front-end until the branch resolves and then
+charges the redirect penalty, which is the standard way trace-driven
+simulators account for misprediction cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BranchPredictorStats:
+    """Prediction accuracy counters."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of predictions that were correct."""
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class GShareBranchPredictor:
+    """gshare: global history XOR PC indexes a table of 2-bit counters."""
+
+    def __init__(self, table_entries: int = 4096, history_bits: int = 12) -> None:
+        if table_entries <= 0 or table_entries & (table_entries - 1):
+            raise ValueError("table_entries must be a positive power of two")
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.table_entries = table_entries
+        self.history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        # 2-bit counters initialised to weakly taken.
+        self._counters = [2] * table_entries
+        self.stats = BranchPredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) % self.table_entries
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        self.stats.predictions += 1
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        """Train the predictor with the resolved outcome of the branch at ``pc``."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        if predicted != taken:
+            self.stats.mispredictions += 1

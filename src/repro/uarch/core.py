@@ -1,0 +1,543 @@
+"""The cycle-level out-of-order core model.
+
+``OoOCore`` simulates the baseline core of Table 1 cycle by cycle: an 8-stage
+front-end feeding a micro-op queue, 4-wide rename/dispatch into a 192-entry
+ROB and 92-entry issue queue, out-of-order issue limited by register readiness
+and load/store ports, a three-level cache hierarchy behind the load/store
+queues, and 4-wide in-order commit.
+
+Runahead techniques (traditional runahead, the runahead buffer, and PRE) plug
+in through a *controller* object (see :mod:`repro.core.base`).  The core calls
+the controller at well-defined points — full-window stalls, instruction
+completion, dispatch while in runahead mode — and the controller manipulates
+core state through public helpers (``rename_and_dispatch``, ``flush_pipeline``,
+``poisoned_pregs`` …).  With no controller attached the core is exactly the
+baseline out-of-order processor the paper normalises against.
+
+Simulation speed
+----------------
+The main loop skips idle periods: when no pipeline stage makes progress in a
+cycle, the clock jumps directly to the next scheduled event (an execution
+completing, the front-end pipeline delivering, or a controller-declared wake
+cycle).  This keeps multi-hundred-cycle full-window stalls cheap to simulate
+without changing any timing, because in an idle cycle no state changes except
+through those scheduled events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.uarch.branch import GShareBranchPredictor
+from repro.uarch.config import CoreConfig
+from repro.uarch.frontend import FetchedUop, FrontEnd
+from repro.uarch.isa import execution_latency
+from repro.uarch.issue_queue import IssueQueue
+from repro.uarch.lsq import LoadStoreQueues
+from repro.uarch.regfile import PhysicalRegisterFile
+from repro.uarch.rename import RegisterAliasTable, RetirementRAT
+from repro.uarch.rob import ReorderBuffer
+from repro.uarch.stats import CoreStats, ResourceSnapshot
+from repro.workloads.trace import MicroOp, Trace, UopClass, is_fp_reg
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.base import RunaheadController
+
+
+class ExecutionMode:
+    """Processor operating mode."""
+
+    NORMAL = "normal"
+    RUNAHEAD = "runahead"
+
+
+class SimulationDeadlock(RuntimeError):
+    """Raised when the simulation can make no further progress."""
+
+
+@dataclass
+class DynInstr:
+    """A dynamic (renamed, in-flight) instruction."""
+
+    uop: MicroOp
+    seq: int
+    runahead: bool = False
+    src_ops: Tuple[Tuple[bool, int], ...] = ()
+    dest_is_fp: Optional[bool] = None
+    dest_preg: Optional[int] = None
+    prev_preg: Optional[int] = None
+    predicted_taken: bool = False
+    dispatch_cycle: int = 0
+    earliest_issue_cycle: int = 0
+    issued: bool = False
+    completed: bool = False
+    squashed: bool = False
+    poisoned: bool = False
+    long_latency: bool = False
+    in_lsq: bool = False
+    issue_cycle: Optional[int] = None
+    completion_cycle: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag
+            for flag, present in (
+                ("R", self.runahead),
+                ("I", self.issued),
+                ("C", self.completed),
+                ("P", self.poisoned),
+                ("S", self.squashed),
+                ("L", self.long_latency),
+            )
+            if present
+        )
+        return f"DynInstr(seq={self.seq}, {self.uop.uop_class.value}@{self.uop.pc:#x}, [{flags}])"
+
+
+class OoOCore:
+    """Cycle-level out-of-order core, optionally extended with a runahead controller."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: Optional[CoreConfig] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        controller: Optional["RunaheadController"] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.config = config or CoreConfig()
+        self.trace = trace
+        self.hierarchy = hierarchy or MemoryHierarchy()
+        self.name = name or ("ooo" if controller is None else controller.name)
+        self.stats = CoreStats()
+
+        self.predictor = GShareBranchPredictor(
+            self.config.branch_predictor_entries, self.config.branch_history_bits
+        )
+        self.frontend = FrontEnd(trace, self.config, self.predictor, self.hierarchy, self.stats)
+        self.rat = RegisterAliasTable()
+        self.retirement_rat = RetirementRAT()
+        self.int_rf = PhysicalRegisterFile(self.config.int_registers, name="int")
+        self.fp_rf = PhysicalRegisterFile(self.config.fp_registers, name="fp")
+        self.rob = ReorderBuffer(self.config.rob_size)
+        self.iq = IssueQueue(self.config.issue_queue_size)
+        self.lsq = LoadStoreQueues(self.config.load_queue_size, self.config.store_queue_size)
+
+        #: Physical registers whose value is invalid in runahead mode,
+        #: identified as (is_fp, physical register) pairs.
+        self.poisoned_pregs: Set[Tuple[bool, int]] = set()
+
+        self.mode = ExecutionMode.NORMAL
+        self.cycle = 0
+        self.committed_trace_uops = 0
+        self._events: List[Tuple[int, int, DynInstr]] = []
+        self._event_counter = 0
+        self._current_stall_seq: Optional[int] = None
+
+        self.controller = controller
+        if controller is not None:
+            controller.attach(self)
+
+    # ------------------------------------------------------------------ utils
+
+    def regfile_for(self, is_fp: bool) -> PhysicalRegisterFile:
+        """Return the integer or floating-point physical register file."""
+        return self.fp_rf if is_fp else self.int_rf
+
+    def schedule_completion(self, instr: DynInstr, completion_cycle: int) -> None:
+        """Schedule ``instr`` to complete execution at ``completion_cycle``."""
+        instr.completion_cycle = completion_cycle
+        self._event_counter += 1
+        heapq.heappush(self._events, (completion_cycle, self._event_counter, instr))
+
+    @property
+    def finished(self) -> bool:
+        """Whether every trace micro-op has committed."""
+        return self.committed_trace_uops >= len(self.trace)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self, max_cycles: Optional[int] = None) -> CoreStats:
+        """Simulate until the whole trace commits (or ``max_cycles`` elapse)."""
+        while not self.finished:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            progress = self.step()
+            if progress:
+                self.cycle += 1
+                continue
+            wake = self._next_wake_cycle()
+            if wake is None:
+                raise SimulationDeadlock(self._deadlock_report())
+            if max_cycles is not None:
+                wake = min(wake, max_cycles)
+            skipped = max(wake, self.cycle + 1) - self.cycle
+            if self._in_full_window_stall():
+                self.stats.full_window_stall_cycles += skipped - 1
+            if self.mode == ExecutionMode.RUNAHEAD:
+                self.stats.runahead_cycles += skipped - 1
+            self.cycle += skipped
+        self.stats.cycles = self.cycle
+        return self.stats
+
+    def step(self) -> bool:
+        """Execute one cycle; return whether any stage made progress."""
+        progress = 0
+        progress += self._writeback()
+        progress += self._commit()
+        progress += self._issue()
+        progress += self._dispatch()
+        progress += self._fetch()
+        if self.controller is not None:
+            progress += self.controller.tick(self.cycle)
+        self._check_full_window_stall()
+        if self._in_full_window_stall():
+            self.stats.full_window_stall_cycles += 1
+        if self.mode == ExecutionMode.RUNAHEAD:
+            self.stats.runahead_cycles += 1
+        return progress > 0
+
+    # -------------------------------------------------------------- writeback
+
+    def _writeback(self) -> int:
+        count = 0
+        while self._events and self._events[0][0] <= self.cycle:
+            _, _, instr = heapq.heappop(self._events)
+            if instr.squashed:
+                continue
+            instr.completed = True
+            if instr.dest_preg is not None:
+                self.regfile_for(bool(instr.dest_is_fp)).set_ready(instr.dest_preg)
+                self.stats.events.regfile_writes += 1
+                self.stats.events.iq_wakeups += 1
+            if instr.uop.is_branch:
+                mispredicted = instr.predicted_taken != instr.uop.branch_taken
+                self.predictor.update(instr.uop.pc, instr.uop.branch_taken, instr.predicted_taken)
+                self.frontend.branch_resolved(instr.seq, self.cycle, mispredicted)
+            self.stats.events.executed_uops += 1
+            if instr.runahead:
+                self.stats.runahead_uops_executed += 1
+            if self.controller is not None:
+                self.controller.on_complete(instr, self.cycle)
+            count += 1
+        return count
+
+    # ----------------------------------------------------------------- commit
+
+    def _commit(self) -> int:
+        if (
+            self.mode == ExecutionMode.RUNAHEAD
+            and self.controller is not None
+            and self.controller.pseudo_retire_in_runahead
+        ):
+            return self._pseudo_retire_commit()
+        if (
+            self.mode == ExecutionMode.RUNAHEAD
+            and self.controller is not None
+            and not self.controller.commit_in_runahead
+        ):
+            return 0
+        committed = 0
+        while committed < self.config.pipeline_width:
+            head = self.rob.head()
+            if head is None or not head.completed:
+                break
+            self.rob.pop_head()
+            self._commit_instr(head)
+            committed += 1
+        return committed
+
+    def _commit_instr(self, instr: DynInstr) -> None:
+        if instr.dest_preg is not None and instr.uop.dst is not None:
+            self.retirement_rat.commit(instr.uop.dst, instr.dest_preg)
+            if instr.prev_preg is not None:
+                regfile = self.regfile_for(bool(instr.dest_is_fp))
+                if regfile.is_allocated(instr.prev_preg):
+                    regfile.free(instr.prev_preg)
+        if instr.uop.is_store:
+            self.hierarchy.access_data(
+                instr.uop.mem_addr, self.cycle, is_write=True, pc=instr.uop.pc
+            )
+            self.stats.committed_stores += 1
+        if instr.uop.is_load:
+            self.stats.committed_loads += 1
+        if instr.in_lsq:
+            self.lsq.release(instr)
+        self.committed_trace_uops += 1
+        self.stats.committed_uops += 1
+        self.stats.events.committed_uops += 1
+        self.stats.events.rob_reads += 1
+
+    def _pseudo_retire_commit(self) -> int:
+        """Runahead-mode commit for RA and RA-buffer: drain the window without
+        updating architectural state (Section 2.2)."""
+        retired = 0
+        while retired < self.config.pipeline_width:
+            head = self.rob.head()
+            if head is None:
+                break
+            invalid_load = (
+                head.uop.is_load and head.issued and head.long_latency and not head.completed
+            )
+            if not head.completed and not invalid_load:
+                break
+            self.rob.pop_head()
+            if invalid_load and head.dest_preg is not None:
+                # The load's result is marked INV; dependents may issue and
+                # propagate the poison instead of waiting for the data.
+                self.regfile_for(bool(head.dest_is_fp)).set_ready(head.dest_preg)
+                self.poisoned_pregs.add((bool(head.dest_is_fp), head.dest_preg))
+            if head.prev_preg is not None and head.dest_is_fp is not None:
+                regfile = self.regfile_for(bool(head.dest_is_fp))
+                if regfile.is_allocated(head.prev_preg):
+                    regfile.free(head.prev_preg)
+            if head.in_lsq:
+                self.lsq.release(head)
+            self.stats.events.pseudo_retired_uops += 1
+            retired += 1
+        return retired
+
+    # ------------------------------------------------------------------ issue
+
+    def _operand_ready(self, instr: DynInstr) -> bool:
+        for is_fp, preg in instr.src_ops:
+            if self.regfile_for(is_fp).is_ready(preg):
+                continue
+            if (
+                (is_fp, preg) in self.poisoned_pregs
+                and self.controller is not None
+                and self.controller.treat_poison_as_ready(instr)
+            ):
+                continue
+            return False
+        return True
+
+    def _has_poisoned_source(self, instr: DynInstr) -> bool:
+        if not self.poisoned_pregs:
+            return False
+        return any((is_fp, preg) in self.poisoned_pregs for is_fp, preg in instr.src_ops)
+
+    def _issue(self) -> int:
+        selected = self.iq.select_ready(
+            self.cycle,
+            self.config.pipeline_width,
+            self._operand_ready,
+            self.config.max_loads_per_cycle,
+            self.config.max_stores_per_cycle,
+        )
+        issued = 0
+        for instr in selected:
+            poisoned = instr.poisoned or self._has_poisoned_source(instr)
+            if instr.uop.is_load and not poisoned:
+                latency = self._issue_load(instr)
+                if latency is None:
+                    continue  # MSHR full: retry in a later cycle.
+            else:
+                latency = execution_latency(instr.uop.uop_class)
+                if instr.uop.is_load:
+                    instr.poisoned = True
+            if poisoned and instr.dest_preg is not None:
+                self.poisoned_pregs.add((bool(instr.dest_is_fp), instr.dest_preg))
+                instr.poisoned = True
+            self.iq.remove(instr)
+            instr.issued = True
+            instr.issue_cycle = self.cycle
+            self.schedule_completion(instr, self.cycle + latency)
+            self.stats.events.issued_uops += 1
+            self.stats.events.regfile_reads += len(instr.src_ops)
+            issued += 1
+        return issued
+
+    def _issue_load(self, instr: DynInstr) -> Optional[int]:
+        forwarding = None if instr.runahead else self.lsq.forwarding_store(instr)
+        self.stats.events.lsq_accesses += 1
+        if forwarding is not None:
+            return 1
+        result = self.hierarchy.access_data(
+            instr.uop.mem_addr,
+            self.cycle,
+            is_write=False,
+            is_prefetch=instr.runahead,
+            pc=instr.uop.pc,
+        )
+        if result.retried:
+            return None
+        instr.long_latency = result.is_long_latency
+        if result.is_long_latency:
+            self.stats.long_latency_loads += 1
+        if instr.runahead:
+            self.stats.runahead_prefetches += 1
+            if self.controller is not None:
+                self.controller.on_runahead_prefetch(instr, result, self.cycle)
+        elif result.level.value == "inflight":
+            self.stats.loads_hit_under_prefetch += 1
+        return max(result.latency, 1)
+
+    # --------------------------------------------------------------- dispatch
+
+    def _dispatch(self) -> int:
+        if self.mode == ExecutionMode.RUNAHEAD and self.controller is not None:
+            return self.controller.runahead_dispatch(self.cycle)
+        dispatched = 0
+        while dispatched < self.config.pipeline_width:
+            entry = self.frontend.peek()
+            if entry is None or entry.ready_cycle > self.cycle:
+                break
+            if not self._can_dispatch(entry.uop):
+                break
+            self.frontend.pop_uops(1, self.cycle)
+            self.rename_and_dispatch(entry, runahead=False)
+            dispatched += 1
+        return dispatched
+
+    def _can_dispatch(self, uop: MicroOp) -> bool:
+        if self.rob.is_full or self.iq.is_full:
+            return False
+        if uop.is_memory and not self.lsq.can_dispatch_uop(uop):
+            return False
+        if uop.dst is not None and self.regfile_for(is_fp_reg(uop.dst)).num_free == 0:
+            return False
+        return True
+
+    def rename_and_dispatch(
+        self, entry: FetchedUop, runahead: bool, enter_rob: Optional[bool] = None
+    ) -> DynInstr:
+        """Rename ``entry`` and insert it into the back-end.
+
+        Normal-mode instructions enter the ROB, LSQ and issue queue.
+        Runahead-mode instructions (``runahead=True``) by default enter only
+        the issue queue: they borrow free physical registers, never commit,
+        and are discarded after execution (Section 3.3).  Traditional runahead
+        passes ``enter_rob=True`` because its speculative instructions occupy
+        and pseudo-retire from the ROB.  Callers in runahead mode are
+        responsible for checking resource availability first.
+        """
+        if enter_rob is None:
+            enter_rob = not runahead
+        uop = entry.uop
+        if self.controller is not None:
+            self.controller.on_decode(uop, runahead)
+        src_ops = tuple((is_fp_reg(reg), self.rat.physical(reg)) for reg in uop.srcs)
+        dest_is_fp: Optional[bool] = None
+        dest_preg: Optional[int] = None
+        prev_preg: Optional[int] = None
+        if uop.dst is not None:
+            dest_is_fp = is_fp_reg(uop.dst)
+            dest_preg = self.regfile_for(dest_is_fp).allocate()
+            previous = self.rat.rename(uop.dst, dest_preg, uop.pc)
+            prev_preg = previous.physical
+        instr = DynInstr(
+            uop=uop,
+            seq=entry.seq,
+            runahead=runahead,
+            src_ops=src_ops,
+            dest_is_fp=dest_is_fp,
+            dest_preg=dest_preg,
+            prev_preg=prev_preg,
+            predicted_taken=entry.predicted_taken,
+            dispatch_cycle=self.cycle,
+            earliest_issue_cycle=self.cycle + 1,
+        )
+        self.stats.events.renamed_uops += 1
+        self.stats.events.dispatched_uops += 1
+        self.stats.events.iq_writes += 1
+        if enter_rob:
+            self.rob.push(instr)
+            self.stats.events.rob_writes += 1
+            if uop.is_memory:
+                self.lsq.dispatch(instr)
+                instr.in_lsq = True
+        self.iq.insert(instr)
+        return instr
+
+    # ------------------------------------------------------------------ fetch
+
+    def _fetch(self) -> int:
+        return self.frontend.tick(self.cycle)
+
+    # -------------------------------------------------- full-window stalls
+
+    def _in_full_window_stall(self) -> bool:
+        head = self.rob.head()
+        return (
+            self.rob.is_full
+            and head is not None
+            and head.uop.is_load
+            and head.issued
+            and not head.completed
+            and head.long_latency
+        )
+
+    def _check_full_window_stall(self) -> None:
+        head = self.rob.head()
+        if not self._in_full_window_stall():
+            self._current_stall_seq = None
+            return
+        assert head is not None
+        if self._current_stall_seq == head.seq:
+            return
+        self._current_stall_seq = head.seq
+        self.stats.full_window_stalls += 1
+        self.stats.stall_snapshots.append(
+            ResourceSnapshot(
+                cycle=self.cycle,
+                free_iq_fraction=self.iq.free_fraction,
+                free_int_reg_fraction=self.int_rf.free_fraction,
+                free_fp_reg_fraction=self.fp_rf.free_fraction,
+            )
+        )
+        if self.controller is not None and self.mode == ExecutionMode.NORMAL:
+            self.controller.on_full_window_stall(head, self.cycle)
+
+    # ------------------------------------------------------------------ flush
+
+    def flush_pipeline(self, restart_index: int, extra_frontend_penalty: int = 0) -> None:
+        """Discard all in-flight state and restart fetch at ``restart_index``.
+
+        Used by the traditional-runahead and runahead-buffer controllers at
+        runahead exit (Section 2.2): the full window is discarded, the
+        speculative RAT is rebuilt from the retirement RAT, the register free
+        lists are recomputed, and fetch restarts at the stalling load.
+        """
+        for instr in self.rob.clear():
+            instr.squashed = True
+            self.stats.events.squashed_uops += 1
+        for instr in self.iq.clear():
+            instr.squashed = True
+        self.lsq.clear()
+        self.poisoned_pregs.clear()
+        self.rat.restore(self.retirement_rat.to_checkpoint())
+        self.int_rf.rebuild(self.retirement_rat.live_physicals(fp=False))
+        self.fp_rf.rebuild(self.retirement_rat.live_physicals(fp=True))
+        self.frontend.redirect(restart_index, self.cycle, extra_frontend_penalty)
+        self.stats.pipeline_flushes += 1
+
+    # ------------------------------------------------------------- wake logic
+
+    def _next_wake_cycle(self) -> Optional[int]:
+        candidates: List[int] = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        delivery = self.frontend.earliest_delivery_cycle()
+        if delivery is not None:
+            candidates.append(delivery)
+        if self.frontend._resume_cycle > self.cycle and not self.frontend.trace_exhausted:
+            candidates.append(self.frontend._resume_cycle)
+        if self.controller is not None:
+            wake = self.controller.next_wake_cycle(self.cycle)
+            if wake is not None:
+                candidates.append(wake)
+        future = [cycle for cycle in candidates if cycle > self.cycle]
+        return min(future) if future else None
+
+    def _deadlock_report(self) -> str:
+        head = self.rob.head()
+        return (
+            f"simulation deadlock at cycle {self.cycle}: committed "
+            f"{self.committed_trace_uops}/{len(self.trace)} micro-ops, mode={self.mode}, "
+            f"ROB={len(self.rob)}/{self.rob.capacity}, IQ={len(self.iq)}/{self.iq.capacity}, "
+            f"uop queue={len(self.frontend.uop_queue)}, head={head!r}"
+        )

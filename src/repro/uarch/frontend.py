@@ -1,0 +1,210 @@
+"""Front-end: fetch, decode and the micro-op queue.
+
+The front-end is modelled as an 8-stage pipeline (Table 1) that fetches up to
+``fetch_width`` micro-ops per cycle from the dynamic trace, predicts branches,
+and delivers decoded micro-ops into the micro-op queue from which the rename
+stage dispatches.
+
+Because the simulator is trace-driven there is no wrong path: a mispredicted
+branch instead stalls fetch until the branch resolves, after which fetch
+resumes and the refilled front-end pipeline naturally charges the redirect
+latency.  The Extended Micro-op Queue optimisation (PRE+EMQ) and the runahead
+buffer's front-end power gating both plug in through small hooks
+(:attr:`power_gated` and :meth:`redirect`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.uarch.branch import GShareBranchPredictor
+from repro.uarch.config import CoreConfig
+from repro.uarch.stats import CoreStats
+from repro.workloads.trace import MicroOp, Trace
+
+
+@dataclass
+class FetchedUop:
+    """A micro-op travelling through (or waiting after) the front-end."""
+
+    seq: int
+    uop: MicroOp
+    ready_cycle: int
+    predicted_taken: bool = False
+
+
+class FrontEnd:
+    """Fetch/decode pipeline plus the micro-op queue."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: CoreConfig,
+        predictor: GShareBranchPredictor,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        stats: Optional[CoreStats] = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.predictor = predictor
+        self.hierarchy = hierarchy
+        self.stats = stats or CoreStats()
+        self.fetch_index = 0
+        self.power_gated = False
+        self._pipe: Deque[FetchedUop] = deque()
+        self.uop_queue: Deque[FetchedUop] = deque()
+        self._stalled_on_branch_seq: Optional[int] = None
+        self._resume_cycle = 0
+        self._last_fetch_line: Optional[int] = None
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def trace_exhausted(self) -> bool:
+        """Whether every trace micro-op has been fetched."""
+        return self.fetch_index >= len(self.trace)
+
+    @property
+    def is_drained(self) -> bool:
+        """Whether no micro-ops remain anywhere in the front-end."""
+        return self.trace_exhausted and not self._pipe and not self.uop_queue
+
+    @property
+    def stalled_on_branch(self) -> Optional[int]:
+        """Sequence number of the unresolved mispredicted branch fetch is waiting on."""
+        return self._stalled_on_branch_seq
+
+    def next_dispatch_seq(self) -> Optional[int]:
+        """Trace index of the next micro-op normal dispatch would consume.
+
+        PRE records this at runahead entry so that, on exit without the EMQ
+        optimisation, fetch can be redirected back to the first micro-op that
+        was consumed speculatively and must be re-fetched (Section 3.3).
+        """
+        if self.uop_queue:
+            return self.uop_queue[0].seq
+        if self._pipe:
+            return self._pipe[0].seq
+        if not self.trace_exhausted:
+            return self.fetch_index
+        return None
+
+    def earliest_delivery_cycle(self) -> Optional[int]:
+        """Cycle at which the oldest in-flight micro-op reaches the micro-op queue."""
+        if self._pipe:
+            return self._pipe[0].ready_cycle
+        return None
+
+    # ----------------------------------------------------------------- ticks
+
+    def tick(self, cycle: int) -> int:
+        """Advance the front-end by one cycle; return the number of micro-ops moved."""
+        moved = self._deliver(cycle)
+        moved += self._fetch(cycle)
+        return moved
+
+    def _deliver(self, cycle: int) -> int:
+        """Move decoded micro-ops whose pipeline delay has elapsed into the micro-op queue."""
+        delivered = 0
+        while (
+            self._pipe
+            and self._pipe[0].ready_cycle <= cycle
+            and len(self.uop_queue) < self.config.uop_queue_size
+        ):
+            entry = self._pipe.popleft()
+            self.uop_queue.append(entry)
+            self.stats.events.decoded_uops += 1
+            delivered += 1
+        return delivered
+
+    def _fetch(self, cycle: int) -> int:
+        """Fetch up to ``fetch_width`` micro-ops from the trace into the pipeline."""
+        if self.power_gated or cycle < self._resume_cycle:
+            return 0
+        if self._stalled_on_branch_seq is not None:
+            return 0
+        fetched = 0
+        pipe_capacity = self.config.fetch_width * self.config.frontend_depth
+        while (
+            fetched < self.config.fetch_width
+            and not self.trace_exhausted
+            and len(self._pipe) + len(self.uop_queue) < pipe_capacity + self.config.uop_queue_size
+            and len(self._pipe) < pipe_capacity
+        ):
+            uop = self.trace[self.fetch_index]
+            seq = self.fetch_index
+            self.fetch_index += 1
+            ready = cycle + self.config.frontend_depth
+            ready += self._instruction_fetch_penalty(uop.pc, cycle)
+            entry = FetchedUop(seq=seq, uop=uop, ready_cycle=ready)
+            if uop.is_branch:
+                entry.predicted_taken = self.predictor.predict(uop.pc)
+                self.stats.events.branch_predictions += 1
+                if entry.predicted_taken != uop.branch_taken:
+                    self._stalled_on_branch_seq = seq
+                    self._pipe.append(entry)
+                    self.stats.events.fetched_uops += 1
+                    fetched += 1
+                    break
+            self._pipe.append(entry)
+            self.stats.events.fetched_uops += 1
+            fetched += 1
+        return fetched
+
+    def _instruction_fetch_penalty(self, pc: int, cycle: int) -> int:
+        """Extra cycles for instruction-cache misses (rare for loopy workloads)."""
+        if self.hierarchy is None:
+            return 0
+        line = pc // self.hierarchy.config.l1i.line_bytes
+        if line == self._last_fetch_line:
+            return 0
+        self._last_fetch_line = line
+        result = self.hierarchy.access_instruction(pc, cycle)
+        return max(0, result.latency - self.hierarchy.config.l1i.latency)
+
+    # -------------------------------------------------------------- dispatch
+
+    def pop_uops(self, max_count: int, cycle: int) -> List[FetchedUop]:
+        """Remove up to ``max_count`` decoded micro-ops for rename/dispatch."""
+        popped: List[FetchedUop] = []
+        while self.uop_queue and len(popped) < max_count:
+            if self.uop_queue[0].ready_cycle > cycle:
+                break
+            popped.append(self.uop_queue.popleft())
+        return popped
+
+    def peek(self) -> Optional[FetchedUop]:
+        """The next micro-op dispatch would consume, without removing it."""
+        return self.uop_queue[0] if self.uop_queue else None
+
+    def unpop(self, entries: List[FetchedUop]) -> None:
+        """Return micro-ops to the head of the queue (dispatch could not take them)."""
+        for entry in reversed(entries):
+            self.uop_queue.appendleft(entry)
+
+    # ------------------------------------------------------------- redirects
+
+    def branch_resolved(self, seq: int, cycle: int, mispredicted: bool) -> None:
+        """Notify the front-end that the branch with sequence number ``seq`` executed."""
+        if self._stalled_on_branch_seq == seq:
+            self._stalled_on_branch_seq = None
+            if mispredicted:
+                self._resume_cycle = cycle + 1
+                self.stats.events.branch_mispredictions += 1
+
+    def redirect(self, new_index: int, cycle: int, extra_penalty: int = 0) -> None:
+        """Squash the front-end and restart fetch at trace index ``new_index``.
+
+        Used by pipeline flushes (runahead exit of RA and RA-buffer, which
+        refetch from the stalling load) and by PRE's exit without the EMQ
+        (refetch of the micro-ops consumed during runahead mode).
+        """
+        self._pipe.clear()
+        self.uop_queue.clear()
+        self._stalled_on_branch_seq = None
+        self.fetch_index = new_index
+        self._resume_cycle = cycle + 1 + extra_penalty
+        self._last_fetch_line = None

@@ -1,0 +1,43 @@
+"""Functional-unit latencies per micro-op class.
+
+The latencies are representative of a Haswell-class core (the register-file
+sizing in Table 1 is Haswell-derived) and are used for every non-memory
+micro-op; loads and stores obtain their latency from the memory hierarchy and
+the load/store queues instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.trace import UopClass
+
+#: Execution latency, in cycles, of each non-memory micro-op class.
+EXECUTION_LATENCY: Dict[UopClass, int] = {
+    UopClass.IALU: 1,
+    UopClass.IMUL: 3,
+    UopClass.IDIV: 20,
+    UopClass.FALU: 3,
+    UopClass.FMUL: 5,
+    UopClass.FDIV: 18,
+    UopClass.BRANCH: 1,
+    UopClass.NOP: 1,
+    # Store micro-ops compute their address in one cycle; the actual write to
+    # the memory hierarchy happens at commit time.
+    UopClass.STORE: 1,
+    # Loads never use this table (latency comes from the memory hierarchy);
+    # the entry exists so that poisoned runahead loads, which skip the memory
+    # access entirely, still have a defined completion latency.
+    UopClass.LOAD: 1,
+}
+
+
+def execution_latency(uop_class: UopClass) -> int:
+    """Return the fixed execution latency of a micro-op class.
+
+    Raises
+    ------
+    KeyError
+        If the class has no fixed latency entry.
+    """
+    return EXECUTION_LATENCY[uop_class]

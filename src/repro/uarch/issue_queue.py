@@ -1,0 +1,105 @@
+"""Issue queue (reservation stations).
+
+Instructions wait here after dispatch until all their source physical
+registers are ready, then issue oldest-first up to the issue width, subject to
+per-cycle load/store port limits.  Capacity is 92 entries in the paper's
+baseline.  Runahead-mode instructions share the queue with the stalled
+window's instructions, which is why Section 3.4 reports free-entry statistics
+at runahead entry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uarch.core import DynInstr
+
+
+class IssueQueue:
+    """Bounded, age-ordered pool of not-yet-issued instructions."""
+
+    def __init__(self, capacity: int = 92) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: List["DynInstr"] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator["DynInstr"]:
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether dispatch must stall for lack of issue-queue space."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def free_entries(self) -> int:
+        """Number of unoccupied entries."""
+        return self.capacity - len(self._entries)
+
+    @property
+    def free_fraction(self) -> float:
+        """Fraction of the queue that is free (Section 3.4 statistic)."""
+        return self.free_entries / self.capacity
+
+    def insert(self, instr: "DynInstr") -> None:
+        """Add a dispatched instruction to the queue."""
+        if self.is_full:
+            raise OverflowError("issue queue overflow")
+        self._entries.append(instr)
+
+    def remove(self, instr: "DynInstr") -> None:
+        """Remove an instruction (at issue or squash)."""
+        self._entries.remove(instr)
+
+    def select_ready(
+        self,
+        cycle: int,
+        width: int,
+        is_ready: Callable[["DynInstr"], bool],
+        max_loads: int,
+        max_stores: int,
+    ) -> List["DynInstr"]:
+        """Pick up to ``width`` issuable instructions, oldest first.
+
+        ``is_ready`` decides operand readiness (the core supplies it because
+        readiness depends on runahead poison rules).  Load/store port limits
+        are enforced here.  Selected instructions remain in the queue; the
+        caller removes them once it actually issues them.
+        """
+        selected: List["DynInstr"] = []
+        loads = 0
+        stores = 0
+        for instr in sorted(self._entries, key=lambda entry: entry.seq):
+            if len(selected) >= width:
+                break
+            if instr.earliest_issue_cycle > cycle:
+                continue
+            if instr.uop.is_load and loads >= max_loads:
+                continue
+            if instr.uop.is_store and stores >= max_stores:
+                continue
+            if not is_ready(instr):
+                continue
+            selected.append(instr)
+            if instr.uop.is_load:
+                loads += 1
+            elif instr.uop.is_store:
+                stores += 1
+        return selected
+
+    def squash(self, predicate: Callable[["DynInstr"], bool]) -> List["DynInstr"]:
+        """Remove every entry matching ``predicate``; return the removed entries."""
+        removed = [instr for instr in self._entries if predicate(instr)]
+        self._entries = [instr for instr in self._entries if not predicate(instr)]
+        return removed
+
+    def clear(self) -> List["DynInstr"]:
+        """Remove all entries (pipeline flush)."""
+        removed = self._entries
+        self._entries = []
+        return removed

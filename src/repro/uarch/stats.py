@@ -1,0 +1,135 @@
+"""Execution statistics collected by the core.
+
+``CoreStats`` is the single record every experiment consumes: cycle and
+micro-op counts for IPC, full-window-stall accounting, per-runahead-interval
+characterisation (needed for the Section 2.4 and 5.1 statistics), resource
+occupancy snapshots at runahead entry (Section 3.4), and the per-structure
+event counts the energy model multiplies by per-access energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class EventCounts:
+    """Per-structure dynamic event counts used by the energy model."""
+
+    fetched_uops: int = 0
+    decoded_uops: int = 0
+    renamed_uops: int = 0
+    dispatched_uops: int = 0
+    issued_uops: int = 0
+    executed_uops: int = 0
+    committed_uops: int = 0
+    pseudo_retired_uops: int = 0
+    squashed_uops: int = 0
+    regfile_reads: int = 0
+    regfile_writes: int = 0
+    rob_writes: int = 0
+    rob_reads: int = 0
+    iq_writes: int = 0
+    iq_wakeups: int = 0
+    lsq_accesses: int = 0
+    branch_predictions: int = 0
+    branch_mispredictions: int = 0
+    sst_lookups: int = 0
+    sst_hits: int = 0
+    sst_inserts: int = 0
+    prdq_writes: int = 0
+    prdq_deallocations: int = 0
+    emq_writes: int = 0
+    emq_reads: int = 0
+    runahead_buffer_reads: int = 0
+    runahead_buffer_writes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return all counters as a plain dictionary."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class RunaheadInterval:
+    """One runahead episode, from entry to exit."""
+
+    entry_cycle: int
+    exit_cycle: int = -1
+    prefetches_issued: int = 0
+    uops_executed: int = 0
+
+    @property
+    def length(self) -> int:
+        """Duration of the interval in cycles (0 while still open)."""
+        if self.exit_cycle < 0:
+            return 0
+        return self.exit_cycle - self.entry_cycle
+
+
+@dataclass
+class ResourceSnapshot:
+    """Free-resource occupancy observed at a full-window stall (Section 3.4)."""
+
+    cycle: int
+    free_iq_fraction: float
+    free_int_reg_fraction: float
+    free_fp_reg_fraction: float
+
+
+@dataclass
+class CoreStats:
+    """Aggregate statistics of one simulation run."""
+
+    cycles: int = 0
+    committed_uops: int = 0
+    committed_loads: int = 0
+    committed_stores: int = 0
+
+    full_window_stalls: int = 0
+    full_window_stall_cycles: int = 0
+
+    runahead_invocations: int = 0
+    runahead_cycles: int = 0
+    runahead_uops_executed: int = 0
+    runahead_prefetches: int = 0
+    runahead_useful_prefetches: int = 0
+    runahead_entries_skipped_short: int = 0
+    pipeline_flushes: int = 0
+
+    long_latency_loads: int = 0
+    loads_hit_under_prefetch: int = 0
+
+    events: EventCounts = field(default_factory=EventCounts)
+    intervals: List[RunaheadInterval] = field(default_factory=list)
+    stall_snapshots: List[ResourceSnapshot] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        """Committed micro-ops per cycle."""
+        return self.committed_uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def average_interval_length(self) -> float:
+        """Mean runahead-interval length in cycles."""
+        closed = [interval.length for interval in self.intervals if interval.exit_cycle >= 0]
+        return sum(closed) / len(closed) if closed else 0.0
+
+    def short_interval_fraction(self, threshold: int = 20) -> float:
+        """Fraction of runahead intervals shorter than ``threshold`` cycles (Section 2.4)."""
+        closed = [interval for interval in self.intervals if interval.exit_cycle >= 0]
+        if not closed:
+            return 0.0
+        short = sum(1 for interval in closed if interval.length < threshold)
+        return short / len(closed)
+
+    def mean_free_resources(self) -> Dict[str, float]:
+        """Mean free IQ/int-RF/fp-RF fractions observed at full-window stalls (Section 3.4)."""
+        if not self.stall_snapshots:
+            return {"iq": 0.0, "int_regs": 0.0, "fp_regs": 0.0}
+        count = len(self.stall_snapshots)
+        return {
+            "iq": sum(s.free_iq_fraction for s in self.stall_snapshots) / count,
+            "int_regs": sum(s.free_int_reg_fraction for s in self.stall_snapshots) / count,
+            "fp_regs": sum(s.free_fp_reg_fraction for s in self.stall_snapshots) / count,
+        }

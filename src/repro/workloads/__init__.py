@@ -1,0 +1,61 @@
+"""Workload substrate: micro-op traces and synthetic SPEC-surrogate generators.
+
+The paper evaluates PRE on memory-intensive SPEC CPU2006 benchmarks simulated
+with 1B-instruction SimPoints on Sniper.  Neither the benchmarks nor traces of
+them are available here, so this package provides deterministic synthetic
+workload generators that reproduce the memory behaviours the evaluation relies
+on (pointer chasing, streaming with a single stalling slice, multi-slice
+irregular access, and compute/memory mixes), plus a SimPoint-like sampler.
+See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.workloads.trace import (
+    ArchReg,
+    MicroOp,
+    Trace,
+    TraceStats,
+    UopClass,
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+)
+from repro.workloads.generators import (
+    WorkloadSpec,
+    compute_kernel,
+    linked_list_chase,
+    mixed_compute_memory,
+    multi_slice_kernel,
+    random_access_kernel,
+    strided_stream,
+)
+from repro.workloads.spec_surrogates import (
+    SPEC_SURROGATES,
+    SurrogateBenchmark,
+    build_surrogate,
+    surrogate_names,
+    surrogate_suite,
+)
+from repro.workloads.simpoint import SimPointSampler, sample_trace
+
+__all__ = [
+    "ArchReg",
+    "MicroOp",
+    "Trace",
+    "TraceStats",
+    "UopClass",
+    "FP_REG_BASE",
+    "NUM_ARCH_REGS",
+    "WorkloadSpec",
+    "compute_kernel",
+    "linked_list_chase",
+    "mixed_compute_memory",
+    "multi_slice_kernel",
+    "random_access_kernel",
+    "strided_stream",
+    "SPEC_SURROGATES",
+    "SurrogateBenchmark",
+    "build_surrogate",
+    "surrogate_names",
+    "surrogate_suite",
+    "SimPointSampler",
+    "sample_trace",
+]

@@ -1,0 +1,136 @@
+"""SimPoint-like trace sampling.
+
+The paper simulates 1B-instruction SimPoints [Sherwood et al., ASPLOS 2002]:
+representative intervals chosen by clustering basic-block vectors of the full
+execution.  This module provides a lightweight equivalent for synthetic
+traces: the trace is divided into fixed-size intervals, each interval is
+summarised by a feature vector (PC histogram), intervals are clustered with a
+simple k-means, and one representative interval per cluster is selected with a
+weight proportional to its cluster's size.
+
+For the synthetic surrogates the traces are small enough to simulate whole,
+but the sampler is exercised by the test suite and available for users who
+plug in larger traces.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class SimPointInterval:
+    """A representative interval selected by the sampler."""
+
+    start: int
+    end: int
+    weight: float
+
+    @property
+    def length(self) -> int:
+        """Number of micro-ops in the interval."""
+        return self.end - self.start
+
+
+def _interval_vector(trace: Trace, start: int, end: int, pcs: Dict[int, int]) -> List[float]:
+    """Build a normalised PC-frequency vector for ``trace[start:end]``."""
+    vector = [0.0] * len(pcs)
+    for index in range(start, end):
+        vector[pcs[trace[index].pc]] += 1.0
+    total = float(end - start) or 1.0
+    return [value / total for value in vector]
+
+
+def _distance(a: Sequence[float], b: Sequence[float]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+class SimPointSampler:
+    """Select representative intervals of a trace via k-means on PC vectors."""
+
+    def __init__(self, interval_size: int = 2_000, max_clusters: int = 4, seed: int = 0) -> None:
+        if interval_size <= 0:
+            raise ValueError("interval_size must be positive")
+        if max_clusters <= 0:
+            raise ValueError("max_clusters must be positive")
+        self.interval_size = interval_size
+        self.max_clusters = max_clusters
+        self.seed = seed
+
+    def intervals(self, trace: Trace) -> List[Tuple[int, int]]:
+        """Split the trace into contiguous, fixed-size intervals."""
+        bounds = []
+        for start in range(0, len(trace), self.interval_size):
+            end = min(start + self.interval_size, len(trace))
+            if end - start >= max(1, self.interval_size // 2):
+                bounds.append((start, end))
+        if not bounds and len(trace):
+            bounds.append((0, len(trace)))
+        return bounds
+
+    def select(self, trace: Trace) -> List[SimPointInterval]:
+        """Return representative intervals with weights summing to 1."""
+        bounds = self.intervals(trace)
+        if not bounds:
+            return []
+        pcs = {}
+        for uop in trace:
+            pcs.setdefault(uop.pc, len(pcs))
+        vectors = [_interval_vector(trace, start, end, pcs) for start, end in bounds]
+
+        k = min(self.max_clusters, len(vectors))
+        rng = random.Random(self.seed)
+        centroids = [list(vectors[i]) for i in rng.sample(range(len(vectors)), k)]
+        assignment = [0] * len(vectors)
+        for _ in range(12):
+            changed = False
+            for i, vec in enumerate(vectors):
+                best = min(range(k), key=lambda c: _distance(vec, centroids[c]))
+                if best != assignment[i]:
+                    assignment[i] = best
+                    changed = True
+            for c in range(k):
+                members = [vectors[i] for i in range(len(vectors)) if assignment[i] == c]
+                if members:
+                    centroids[c] = [
+                        sum(values) / len(members) for values in zip(*members)
+                    ]
+            if not changed:
+                break
+
+        selected: List[SimPointInterval] = []
+        total = len(vectors)
+        for c in range(k):
+            members = [i for i in range(len(vectors)) if assignment[i] == c]
+            if not members:
+                continue
+            representative = min(
+                members, key=lambda i: _distance(vectors[i], centroids[c])
+            )
+            start, end = bounds[representative]
+            selected.append(
+                SimPointInterval(start=start, end=end, weight=len(members) / total)
+            )
+        return sorted(selected, key=lambda interval: interval.start)
+
+
+def sample_trace(
+    trace: Trace, interval_size: int = 2_000, max_clusters: int = 4, seed: int = 0
+) -> Trace:
+    """Return a smaller trace made of the representative intervals, concatenated.
+
+    The representative intervals are concatenated in program order.  The
+    resulting trace preserves the mix of behaviours while being a fraction of
+    the original length — the same role SimPoints play in the paper.
+    """
+    sampler = SimPointSampler(interval_size=interval_size, max_clusters=max_clusters, seed=seed)
+    intervals = sampler.select(trace)
+    uops = []
+    for interval in intervals:
+        uops.extend(trace[index] for index in range(interval.start, interval.end))
+    return Trace(uops, name=f"{trace.name}.simpoints")

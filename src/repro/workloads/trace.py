@@ -1,0 +1,333 @@
+"""Micro-op and trace definitions.
+
+The simulator is trace driven: a :class:`Trace` is the *dynamic* stream of
+micro-ops a program executes, in program order.  Each :class:`MicroOp` carries
+everything the timing model needs — program counter, operation class, source
+and destination architectural registers, the effective memory address for
+loads/stores, and branch direction/target for branches.
+
+Register name space
+-------------------
+The paper's core uses a 64-entry Register Alias Table (Section 3.6), i.e. 64
+architectural registers.  We split the space in two halves:
+
+* integer architectural registers: ``0 .. 31``
+* floating-point architectural registers: ``32 .. 63`` (``FP_REG_BASE`` + i)
+
+A destination of ``None`` means the micro-op produces no register value
+(stores, branches, nops).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Number of architectural registers visible to the RAT (Section 3.6: 64-entry RAT).
+NUM_ARCH_REGS = 64
+
+#: First architectural register index that names a floating-point register.
+FP_REG_BASE = 32
+
+#: Convenience alias: architectural register identifiers are plain ints.
+ArchReg = int
+
+
+class UopClass(enum.Enum):
+    """Operation class of a micro-op.
+
+    The class determines which functional unit executes the micro-op and its
+    execution latency (see :mod:`repro.uarch.isa`), and whether it touches the
+    memory hierarchy.
+    """
+
+    IALU = "ialu"
+    IMUL = "imul"
+    IDIV = "idiv"
+    FALU = "falu"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether micro-ops of this class access the data memory hierarchy."""
+        return self in (UopClass.LOAD, UopClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        """Whether micro-ops of this class execute on floating-point units."""
+        return self in (UopClass.FALU, UopClass.FMUL, UopClass.FDIV)
+
+
+def is_fp_reg(reg: ArchReg) -> bool:
+    """Return True if ``reg`` names a floating-point architectural register."""
+    return reg >= FP_REG_BASE
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """A single dynamic micro-op.
+
+    Attributes
+    ----------
+    pc:
+        Program counter (instruction address) of the micro-op.  Static
+        instructions that execute repeatedly (loops) share the same ``pc``;
+        the Stalling Slice Table is indexed by this field.
+    uop_class:
+        Operation class; see :class:`UopClass`.
+    srcs:
+        Architectural source registers read by the micro-op.
+    dst:
+        Architectural destination register written by the micro-op, or
+        ``None`` for stores, branches and nops.
+    mem_addr:
+        Effective byte address for loads/stores, ``None`` otherwise.
+    mem_size:
+        Access size in bytes for loads/stores.
+    branch_taken:
+        For branches, whether the branch is taken in this dynamic instance.
+    branch_target:
+        For branches, the target program counter.
+    """
+
+    pc: int
+    uop_class: UopClass
+    srcs: Tuple[ArchReg, ...] = ()
+    dst: Optional[ArchReg] = None
+    mem_addr: Optional[int] = None
+    mem_size: int = 8
+    branch_taken: bool = False
+    branch_target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.uop_class.is_memory and self.mem_addr is None:
+            raise ValueError(
+                f"{self.uop_class.value} micro-op at pc={self.pc:#x} requires mem_addr"
+            )
+        if not self.uop_class.is_memory and self.mem_addr is not None:
+            raise ValueError(
+                f"{self.uop_class.value} micro-op at pc={self.pc:#x} must not carry mem_addr"
+            )
+        if self.uop_class is UopClass.STORE and self.dst is not None:
+            raise ValueError("store micro-ops do not write a destination register")
+        if self.uop_class is UopClass.BRANCH and self.dst is not None:
+            raise ValueError("branch micro-ops do not write a destination register")
+        for reg in self.srcs:
+            if not 0 <= reg < NUM_ARCH_REGS:
+                raise ValueError(f"source register {reg} out of range [0, {NUM_ARCH_REGS})")
+        if self.dst is not None and not 0 <= self.dst < NUM_ARCH_REGS:
+            raise ValueError(f"destination register {self.dst} out of range")
+        if self.mem_size <= 0:
+            raise ValueError("mem_size must be positive")
+
+    @property
+    def is_load(self) -> bool:
+        """True for load micro-ops."""
+        return self.uop_class is UopClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for store micro-ops."""
+        return self.uop_class is UopClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        """True for branch micro-ops."""
+        return self.uop_class is UopClass.BRANCH
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.uop_class.is_memory
+
+    @property
+    def writes_fp(self) -> bool:
+        """True when the destination is a floating-point register."""
+        return self.dst is not None and is_fp_reg(self.dst)
+
+    @property
+    def writes_int(self) -> bool:
+        """True when the destination is an integer register."""
+        return self.dst is not None and not is_fp_reg(self.dst)
+
+
+@dataclass
+class TraceStats:
+    """Static summary of a trace's composition."""
+
+    num_uops: int = 0
+    num_loads: int = 0
+    num_stores: int = 0
+    num_branches: int = 0
+    num_int_ops: int = 0
+    num_fp_ops: int = 0
+    unique_pcs: int = 0
+    unique_load_pcs: int = 0
+    footprint_bytes: int = 0
+
+    @property
+    def load_fraction(self) -> float:
+        """Fraction of micro-ops that are loads."""
+        return self.num_loads / self.num_uops if self.num_uops else 0.0
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of micro-ops that are loads or stores."""
+        if not self.num_uops:
+            return 0.0
+        return (self.num_loads + self.num_stores) / self.num_uops
+
+
+class Trace:
+    """A dynamic micro-op stream.
+
+    A trace behaves like an immutable sequence of :class:`MicroOp` objects and
+    carries a human-readable name used in experiment reports.
+    """
+
+    def __init__(self, uops: Iterable[MicroOp], name: str = "anonymous") -> None:
+        self._uops: List[MicroOp] = list(uops)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._uops)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self._uops)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self._uops[index], name=f"{self.name}[{index.start}:{index.stop}]")
+        return self._uops[index]
+
+    def __repr__(self) -> str:
+        return f"Trace(name={self.name!r}, uops={len(self._uops)})"
+
+    @property
+    def uops(self) -> Sequence[MicroOp]:
+        """The underlying micro-op sequence (read-only view)."""
+        return tuple(self._uops)
+
+    def stats(self) -> TraceStats:
+        """Compute a static composition summary of the trace."""
+        stats = TraceStats(num_uops=len(self._uops))
+        pcs = set()
+        load_pcs = set()
+        lines = set()
+        for uop in self._uops:
+            pcs.add(uop.pc)
+            if uop.is_load:
+                stats.num_loads += 1
+                load_pcs.add(uop.pc)
+            elif uop.is_store:
+                stats.num_stores += 1
+            elif uop.is_branch:
+                stats.num_branches += 1
+            elif uop.uop_class.is_fp:
+                stats.num_fp_ops += 1
+            elif uop.uop_class is not UopClass.NOP:
+                stats.num_int_ops += 1
+            if uop.mem_addr is not None:
+                lines.add(uop.mem_addr // 64)
+        stats.unique_pcs = len(pcs)
+        stats.unique_load_pcs = len(load_pcs)
+        stats.footprint_bytes = len(lines) * 64
+        return stats
+
+    def concat(self, other: "Trace", name: Optional[str] = None) -> "Trace":
+        """Return a new trace that is this trace followed by ``other``."""
+        return Trace(
+            list(self._uops) + list(other._uops),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    def repeat(self, times: int, name: Optional[str] = None) -> "Trace":
+        """Return a new trace with this trace's micro-ops repeated ``times`` times."""
+        if times < 0:
+            raise ValueError("times must be non-negative")
+        return Trace(list(self._uops) * times, name=name or f"{self.name}x{times}")
+
+    def load_addresses(self) -> List[int]:
+        """Return the effective addresses of all loads, in program order."""
+        return [uop.mem_addr for uop in self._uops if uop.is_load]
+
+    def pcs_of_class(self, uop_class: UopClass) -> List[int]:
+        """Return the distinct PCs of micro-ops with the given class, in first-seen order."""
+        seen = {}
+        for uop in self._uops:
+            if uop.uop_class is uop_class and uop.pc not in seen:
+                seen[uop.pc] = None
+        return list(seen)
+
+
+@dataclass
+class TraceBuilder:
+    """Helper for constructing traces programmatically.
+
+    The builder assigns program counters automatically (4 bytes per static
+    instruction) and validates register usage.  Workload generators use it to
+    express loop bodies naturally: define the static PCs once and emit dynamic
+    instances per iteration.
+    """
+
+    name: str = "built"
+    base_pc: int = 0x400000
+    _uops: List[MicroOp] = field(default_factory=list)
+    _next_pc: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self._next_pc < 0:
+            self._next_pc = self.base_pc
+
+    def new_pc(self) -> int:
+        """Allocate a fresh static program counter."""
+        pc = self._next_pc
+        self._next_pc += 4
+        return pc
+
+    def emit(self, uop: MicroOp) -> MicroOp:
+        """Append a micro-op to the trace being built."""
+        self._uops.append(uop)
+        return uop
+
+    def ialu(self, pc: int, dst: ArchReg, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+        """Emit an integer ALU micro-op."""
+        return self.emit(MicroOp(pc=pc, uop_class=UopClass.IALU, srcs=tuple(srcs), dst=dst))
+
+    def falu(self, pc: int, dst: ArchReg, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+        """Emit a floating-point ALU micro-op."""
+        return self.emit(MicroOp(pc=pc, uop_class=UopClass.FALU, srcs=tuple(srcs), dst=dst))
+
+    def load(self, pc: int, dst: ArchReg, addr: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+        """Emit a load micro-op reading ``addr``."""
+        return self.emit(
+            MicroOp(pc=pc, uop_class=UopClass.LOAD, srcs=tuple(srcs), dst=dst, mem_addr=addr)
+        )
+
+    def store(self, pc: int, addr: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+        """Emit a store micro-op writing ``addr``."""
+        return self.emit(
+            MicroOp(pc=pc, uop_class=UopClass.STORE, srcs=tuple(srcs), mem_addr=addr)
+        )
+
+    def branch(self, pc: int, taken: bool, target: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+        """Emit a conditional branch micro-op."""
+        return self.emit(
+            MicroOp(
+                pc=pc,
+                uop_class=UopClass.BRANCH,
+                srcs=tuple(srcs),
+                branch_taken=taken,
+                branch_target=target,
+            )
+        )
+
+    def build(self) -> Trace:
+        """Finalize and return the built trace."""
+        return Trace(self._uops, name=self.name)

@@ -1,0 +1,189 @@
+"""Tests for the energy model, simulation drivers, metrics and report formatting."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_energy_figure,
+    format_performance_figure,
+    format_table,
+    format_table1_configuration,
+    summarize_comparison,
+)
+from repro.energy.cacti import SRAMModel, sram_access_energy_pj, sram_leakage_mw
+from repro.energy.mcpat import EnergyBreakdown, EnergyParameters
+from repro.energy.model import EnergyModel
+from repro.simulation.experiment import run_comparison
+from repro.simulation.metrics import (
+    arithmetic_mean,
+    energy_savings_percent,
+    geometric_mean,
+    interval_length_histogram,
+    invocation_ratio,
+    normalized_performance,
+    speedup_percent,
+)
+from repro.simulation.simulator import Simulator, run_variant
+from repro.uarch.config import CoreConfig
+from repro.uarch.stats import CoreStats, RunaheadInterval
+from repro.workloads.generators import multi_slice_kernel, strided_stream
+
+
+class TestCactiModel:
+    def test_energy_grows_with_capacity_and_ports(self):
+        assert sram_access_energy_pj(4096) > sram_access_energy_pj(1024)
+        assert sram_access_energy_pj(1024, ports=8) > sram_access_energy_pj(1024, ports=1)
+        assert sram_leakage_mw(2048) > sram_leakage_mw(1024)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sram_access_energy_pj(0)
+        with pytest.raises(ValueError):
+            sram_leakage_mw(-1)
+
+    def test_sram_model_totals(self):
+        model = SRAMModel("sst", 1024, read_ports=8, write_ports=2)
+        assert model.read_energy_pj > 0
+        assert model.dynamic_energy_nj(reads=1000, writes=100) > 0
+        assert model.static_energy_nj(seconds=1e-3) > 0
+
+
+class TestEnergyBreakdown:
+    def test_totals_are_sums(self):
+        breakdown = EnergyBreakdown(frontend_nj=1.0, cache_nj=2.0, core_static_nj=3.0)
+        assert breakdown.dynamic_nj == pytest.approx(3.0)
+        assert breakdown.static_nj == pytest.approx(3.0)
+        assert breakdown.total_nj == pytest.approx(6.0)
+        assert breakdown.as_dict()["total_nj"] == pytest.approx(6.0)
+
+    def test_parameters_as_dict(self):
+        params = EnergyParameters()
+        assert params.as_dict()["dram_access_pj"] == params.dram_access_pj
+
+
+class TestEnergyModelOnRuns:
+    @pytest.fixture(scope="class")
+    def results(self):
+        trace = multi_slice_kernel(num_uops=2_500, num_slices=4, work_per_iteration=16)
+        simulator = Simulator()
+        return {
+            variant: simulator.run(trace, variant=variant, max_cycles=3_000_000)
+            for variant in ("ooo", "runahead", "pre")
+        }
+
+    def test_energy_reports_are_positive_and_complete(self, results):
+        for result in results.values():
+            assert result.energy.total_nj > 0
+            assert result.energy.breakdown.dynamic_nj > 0
+            assert result.energy.breakdown.static_nj > 0
+            assert result.energy.average_power_w > 0
+            assert result.energy.seconds > 0
+
+    def test_faster_variant_spends_less_static_energy(self, results):
+        assert results["pre"].cycles < results["ooo"].cycles
+        assert (
+            results["pre"].energy.breakdown.static_nj
+            < results["ooo"].energy.breakdown.static_nj
+        )
+
+    def test_pre_energy_does_not_exceed_runahead(self, results):
+        # Figure 3: PRE is more energy-efficient than traditional runahead
+        # because it never re-fetches and re-executes the full window.
+        assert results["pre"].energy.total_nj <= results["runahead"].energy.total_nj * 1.02
+
+    def test_savings_relative_to_is_symmetric_zero(self, results):
+        baseline = results["ooo"].energy
+        assert baseline.savings_relative_to(baseline) == pytest.approx(0.0)
+
+
+class TestMetrics:
+    def test_means(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_normalized_performance_and_speedup(self):
+        baseline = CoreStats(cycles=1000, committed_uops=1000)
+        variant = CoreStats(cycles=800, committed_uops=1000)
+        assert normalized_performance(variant, baseline) == pytest.approx(1.25)
+        assert speedup_percent(variant, baseline) == pytest.approx(25.0)
+
+    def test_invocation_ratio(self):
+        a = CoreStats(runahead_invocations=162)
+        b = CoreStats(runahead_invocations=100)
+        assert invocation_ratio(a, b) == pytest.approx(1.62)
+        assert invocation_ratio(a, CoreStats()) == float("inf")
+
+    def test_energy_savings_percent(self):
+        assert energy_savings_percent(94.0, 100.0) == pytest.approx(6.0)
+        assert energy_savings_percent(100.0, 0.0) == 0.0
+
+    def test_interval_histogram_binning(self):
+        stats = CoreStats()
+        for length in (5, 25, 75, 600):
+            stats.intervals.append(RunaheadInterval(entry_cycle=0, exit_cycle=length))
+        histogram = interval_length_histogram(stats, bin_edges=(20, 50, 100, 200, 500))
+        assert histogram["<20"] == 1
+        assert histogram["20-49"] == 1
+        assert histogram["50-99"] == 1
+        assert histogram[">=500"] == 1
+
+    def test_short_interval_fraction(self):
+        stats = CoreStats()
+        stats.intervals.append(RunaheadInterval(entry_cycle=0, exit_cycle=10))
+        stats.intervals.append(RunaheadInterval(entry_cycle=0, exit_cycle=100))
+        assert stats.short_interval_fraction(20) == pytest.approx(0.5)
+
+
+class TestSimulationDrivers:
+    def test_run_variant_rejects_unknown(self):
+        trace = strided_stream(num_uops=400)
+        with pytest.raises(ValueError):
+            run_variant(trace, variant="quantum")
+
+    def test_run_variant_returns_complete_result(self):
+        trace = strided_stream(num_uops=1_000)
+        result = run_variant(trace, variant="pre", max_cycles=2_000_000)
+        assert result.trace_name == "strided_stream"
+        assert result.label == "PRE"
+        assert result.ipc > 0
+        assert result.total_energy_nj > 0
+
+    def test_comparison_tables_and_summary(self):
+        traces = [
+            multi_slice_kernel(num_uops=1_500, num_slices=4, work_per_iteration=16),
+            strided_stream(num_uops=1_500),
+        ]
+        comparison = run_comparison(traces, variants=("ooo", "runahead", "pre"))
+        assert set(comparison.benchmark_names()) == {"multi_slice_kernel", "strided_stream"}
+        perf = comparison.performance_table()
+        assert "average" in perf
+        assert "PRE" in perf["average"]
+        energy = comparison.energy_table()
+        assert "PRE" in energy["average"]
+        assert comparison.mean_normalized_performance("pre") > 0.9
+        bench = comparison.benchmark("strided_stream")
+        assert bench.normalized_performance("pre") > 0.9
+        summary = summarize_comparison(comparison)
+        assert "pre" in summary
+        with pytest.raises(KeyError):
+            comparison.benchmark("does-not-exist")
+
+    def test_reports_render_as_text(self):
+        traces = [multi_slice_kernel(num_uops=1_200, num_slices=2, work_per_iteration=12)]
+        comparison = run_comparison(traces, variants=("ooo", "pre"))
+        fig2 = format_performance_figure(comparison)
+        fig3 = format_energy_figure(comparison)
+        assert "Figure 2" in fig2 and "PRE" in fig2
+        assert "Figure 3" in fig3 and "%" in fig3
+        table1 = format_table1_configuration(CoreConfig())
+        assert "ROB: 192" in table1
+        assert format_table({}) == ""
+
+    def test_simulator_run_all_variants(self):
+        trace = strided_stream(num_uops=800)
+        simulator = Simulator()
+        results = simulator.run_all_variants(trace, variants=("ooo", "pre"))
+        assert set(results) == {"ooo", "pre"}
+        assert all(result.stats.committed_uops == len(trace) for result in results.values())

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prdq import PreciseRegisterDeallocationQueue
+from repro.core.sst import StallingSliceTable
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.memory.mshr import MSHRFile
+from repro.simulation.metrics import arithmetic_mean, geometric_mean
+from repro.uarch.core import DynInstr
+from repro.uarch.regfile import PhysicalRegisterFile
+from repro.uarch.rename import RegisterAliasTable
+from repro.workloads.trace import (
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    MicroOp,
+    Trace,
+    UopClass,
+)
+
+
+lines = st.integers(min_value=0, max_value=255)
+
+
+class TestCacheProperties:
+    @given(st.lists(lines, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_resident_lines_never_exceed_capacity(self, accesses):
+        cache = SetAssociativeCache(CacheConfig("T", 8 * 64, 2))
+        for line in accesses:
+            addr = line * 64
+            if not cache.lookup(addr):
+                cache.fill(addr)
+        assert cache.resident_lines() <= 8
+        assert cache.stats.accesses == len(accesses)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+    @given(st.lists(lines, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_fill_is_always_resident(self, accesses):
+        cache = SetAssociativeCache(CacheConfig("T", 4 * 64, 4))
+        for line in accesses:
+            cache.fill(line * 64)
+            assert cache.contains(line * 64)
+
+
+class TestSSTProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=400))
+    @settings(max_examples=50, deadline=None)
+    def test_size_bounded_and_recent_insert_present(self, pcs):
+        sst = StallingSliceTable(capacity=16)
+        for pc in pcs:
+            sst.insert(pc)
+            assert pc in sst
+            assert len(sst) <= 16
+        assert sst.stats.evictions == max(0, sst.stats.inserts - 16)
+
+
+class TestRegisterFileProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_allocate_free_conservation(self, operations):
+        rf = PhysicalRegisterFile(64)
+        allocated = []
+        for allocate in operations:
+            if allocate and rf.num_free:
+                allocated.append(rf.allocate())
+            elif allocated:
+                rf.free(allocated.pop())
+            assert rf.num_free + 32 + len(allocated) == 64
+        assert len(set(allocated)) == len(allocated)
+
+
+class TestRATProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=NUM_ARCH_REGS - 1),
+                st.integers(min_value=0, max_value=167),
+                st.integers(min_value=0, max_value=1 << 20),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_checkpoint_restore_roundtrip(self, renames):
+        rat = RegisterAliasTable()
+        checkpoint = rat.checkpoint()
+        original = {arch: rat.physical(arch) for arch in range(NUM_ARCH_REGS)}
+        for arch, phys, pc in renames:
+            rat.rename(arch, phys, pc)
+        rat.restore(checkpoint)
+        assert {arch: rat.physical(arch) for arch in range(NUM_ARCH_REGS)} == original
+
+
+class TestPRDQProperties:
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_deallocation_is_in_program_order(self, data):
+        count = data.draw(st.integers(min_value=1, max_value=40))
+        prdq = PreciseRegisterDeallocationQueue(capacity=64)
+        instrs = []
+        for seq in range(count):
+            uop = MicroOp(pc=4 * seq, uop_class=UopClass.IALU, dst=1)
+            instr = DynInstr(uop=uop, seq=seq, runahead=True)
+            prdq.allocate(instr, old_preg=seq, old_is_fp=False, reclaim_old=True)
+            instrs.append(instr)
+        execution_order = data.draw(st.permutations(instrs))
+        freed = []
+        for instr in execution_order:
+            prdq.mark_executed(instr)
+            prdq.deallocate_ready(lambda fp, reg: freed.append(reg))
+        assert freed == list(range(count))
+
+
+class TestMSHRProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63), st.integers(min_value=1, max_value=400)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, requests):
+        mshrs = MSHRFile(num_entries=8)
+        cycle = 0
+        for line, latency in requests:
+            cycle += 1
+            mshrs.allocate(line * 64, completion_cycle=cycle + latency, cycle=cycle)
+            assert mshrs.occupancy(cycle) <= 8
+
+
+class TestTraceProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([UopClass.IALU, UopClass.FALU, UopClass.LOAD]),
+                st.integers(min_value=0, max_value=NUM_ARCH_REGS - 1),
+                st.integers(min_value=0, max_value=1 << 16),
+            ),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stats_counts_are_consistent(self, specs):
+        uops = []
+        for index, (uop_class, dst, line) in enumerate(specs):
+            if uop_class is UopClass.LOAD:
+                uops.append(
+                    MicroOp(pc=4 * index, uop_class=uop_class, dst=dst, mem_addr=line * 64)
+                )
+            else:
+                if uop_class is UopClass.FALU and dst < FP_REG_BASE:
+                    dst = FP_REG_BASE + (dst % 32)
+                uops.append(MicroOp(pc=4 * index, uop_class=uop_class, dst=dst))
+        trace = Trace(uops)
+        stats = trace.stats()
+        assert stats.num_uops == len(uops)
+        assert stats.num_loads == sum(1 for uop in uops if uop.is_load)
+        assert stats.num_loads + stats.num_fp_ops + stats.num_int_ops <= stats.num_uops
+        assert stats.unique_pcs <= stats.num_uops or stats.num_uops == 0
+
+
+class TestMetricProperties:
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_geometric_mean_bounded_by_arithmetic(self, values):
+        geo = geometric_mean(values)
+        arith = arithmetic_mean(values)
+        assert min(values) - 1e-9 <= geo <= max(values) + 1e-9
+        assert geo <= arith + 1e-9

@@ -1,0 +1,144 @@
+"""Unit tests for the micro-op and trace substrate."""
+
+import pytest
+
+from repro.workloads.trace import (
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    MicroOp,
+    Trace,
+    TraceBuilder,
+    UopClass,
+    is_fp_reg,
+)
+
+
+class TestMicroOp:
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400000, uop_class=UopClass.LOAD, srcs=(1,), dst=2)
+
+    def test_store_requires_address(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400000, uop_class=UopClass.STORE, srcs=(1,))
+
+    def test_alu_must_not_carry_address(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400000, uop_class=UopClass.IALU, dst=1, mem_addr=64)
+
+    def test_store_has_no_destination(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400000, uop_class=UopClass.STORE, srcs=(1,), dst=2, mem_addr=64)
+
+    def test_branch_has_no_destination(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400000, uop_class=UopClass.BRANCH, dst=1)
+
+    def test_register_range_validated(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400000, uop_class=UopClass.IALU, srcs=(NUM_ARCH_REGS,), dst=1)
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400000, uop_class=UopClass.IALU, dst=NUM_ARCH_REGS)
+
+    def test_mem_size_positive(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0, uop_class=UopClass.LOAD, dst=1, mem_addr=0, mem_size=0)
+
+    def test_classification_properties(self):
+        load = MicroOp(pc=4, uop_class=UopClass.LOAD, dst=1, mem_addr=128)
+        store = MicroOp(pc=8, uop_class=UopClass.STORE, srcs=(1,), mem_addr=128)
+        branch = MicroOp(pc=12, uop_class=UopClass.BRANCH, branch_taken=True, branch_target=4)
+        falu = MicroOp(pc=16, uop_class=UopClass.FALU, dst=FP_REG_BASE)
+        assert load.is_load and load.is_memory and not load.is_store
+        assert store.is_store and store.is_memory
+        assert branch.is_branch and not branch.is_memory
+        assert falu.uop_class.is_fp and falu.writes_fp and not falu.writes_int
+        assert load.writes_int
+
+    def test_is_fp_reg_split(self):
+        assert not is_fp_reg(0)
+        assert not is_fp_reg(FP_REG_BASE - 1)
+        assert is_fp_reg(FP_REG_BASE)
+        assert is_fp_reg(NUM_ARCH_REGS - 1)
+
+
+class TestTrace:
+    def _simple_trace(self):
+        builder = TraceBuilder(name="simple")
+        pc_a = builder.new_pc()
+        pc_l = builder.new_pc()
+        pc_s = builder.new_pc()
+        pc_b = builder.new_pc()
+        for i in range(10):
+            builder.ialu(pc_a, dst=1, srcs=(1,))
+            builder.load(pc_l, dst=2, addr=64 * i, srcs=(1,))
+            builder.store(pc_s, addr=4096 + 64 * i, srcs=(2,))
+            builder.branch(pc_b, taken=True, target=pc_a, srcs=(1,))
+        return builder.build()
+
+    def test_length_and_iteration(self):
+        trace = self._simple_trace()
+        assert len(trace) == 40
+        assert sum(1 for _ in trace) == 40
+
+    def test_stats_composition(self):
+        stats = self._simple_trace().stats()
+        assert stats.num_uops == 40
+        assert stats.num_loads == 10
+        assert stats.num_stores == 10
+        assert stats.num_branches == 10
+        assert stats.num_int_ops == 10
+        assert stats.unique_pcs == 4
+        assert stats.unique_load_pcs == 1
+        assert 0 < stats.load_fraction < 1
+        assert stats.memory_fraction == pytest.approx(0.5)
+        assert stats.footprint_bytes == 20 * 64
+
+    def test_slicing_returns_trace(self):
+        trace = self._simple_trace()
+        head = trace[:8]
+        assert isinstance(head, Trace)
+        assert len(head) == 8
+        assert head[0].pc == trace[0].pc
+
+    def test_repeat_and_concat(self):
+        trace = self._simple_trace()
+        doubled = trace.repeat(2)
+        assert len(doubled) == 80
+        joined = trace.concat(trace)
+        assert len(joined) == 80
+        with pytest.raises(ValueError):
+            trace.repeat(-1)
+
+    def test_load_addresses_in_order(self):
+        trace = self._simple_trace()
+        addresses = trace.load_addresses()
+        assert addresses == [64 * i for i in range(10)]
+
+    def test_pcs_of_class(self):
+        trace = self._simple_trace()
+        assert len(trace.pcs_of_class(UopClass.LOAD)) == 1
+        assert len(trace.pcs_of_class(UopClass.IALU)) == 1
+
+    def test_empty_trace_stats(self):
+        stats = Trace([]).stats()
+        assert stats.num_uops == 0
+        assert stats.load_fraction == 0.0
+        assert stats.memory_fraction == 0.0
+
+
+class TestTraceBuilder:
+    def test_pcs_are_unique_and_increasing(self):
+        builder = TraceBuilder()
+        pcs = [builder.new_pc() for _ in range(16)]
+        assert len(set(pcs)) == 16
+        assert pcs == sorted(pcs)
+
+    def test_builder_emits_in_program_order(self):
+        builder = TraceBuilder(name="order")
+        pc = builder.new_pc()
+        first = builder.ialu(pc, dst=1)
+        second = builder.falu(builder.new_pc(), dst=FP_REG_BASE)
+        trace = builder.build()
+        assert trace[0] is first
+        assert trace[1] is second
