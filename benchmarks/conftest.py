@@ -4,19 +4,28 @@ Every benchmark regenerates one of the paper's artefacts (a table, a figure,
 or a quoted statistic).  The workload suite is scaled down to a few thousand
 micro-ops per benchmark so the whole harness runs in minutes on a laptop; see
 DESIGN.md section 6 for the scaling rationale.
+
+The figure-level comparison runs through the experiment engine.  Set
+``REPRO_BENCH_WORKERS`` to parallelise it and ``REPRO_BENCH_CACHE`` to a
+directory to reuse simulation results across harness invocations.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from bench_common import FIGURE_BENCHMARKS, FIGURE_TRACE_UOPS
-from repro.simulation.experiment import ComparisonResult, run_comparison
-from repro.workloads.spec_surrogates import build_surrogate
+from repro.simulation.engine import ExperimentEngine
+from repro.simulation.experiment import ComparisonResult
 
 
 @pytest.fixture(scope="session")
 def figure_comparison() -> ComparisonResult:
     """Run the full five-variant comparison once and share it across benchmarks."""
-    traces = [build_surrogate(name, num_uops=FIGURE_TRACE_UOPS) for name in FIGURE_BENCHMARKS]
-    return run_comparison(traces)
+    engine = ExperimentEngine(
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None,
+    )
+    return engine.run_workloads(FIGURE_BENCHMARKS, num_uops=FIGURE_TRACE_UOPS)

@@ -6,14 +6,20 @@ traditional runahead (RA), the runahead buffer (RA-buffer), PRE and PRE+EMQ,
 then prints the per-benchmark and average normalised performance — the same
 series the paper's Figure 2 plots.
 
+The suite runs through :class:`repro.simulation.engine.ExperimentEngine`, so
+``--workers`` fans the (benchmark, variant) grid out across processes and
+``--cache-dir`` reuses results across invocations.  The equivalent CLI is
+``python -m repro sweep --figure 2``.
+
 Run with:  python examples/reproduce_figure2.py [--uops N] [--benchmarks a,b,c]
+                                                [--workers N] [--cache-dir DIR]
 """
 
 import argparse
 
 from repro.analysis.report import format_performance_figure, summarize_comparison
-from repro.simulation.experiment import run_performance_comparison
-from repro.workloads.spec_surrogates import build_surrogate, surrogate_names
+from repro.simulation.engine import ExperimentEngine
+from repro.workloads.spec_surrogates import surrogate_names
 
 
 def main() -> None:
@@ -27,6 +33,14 @@ def main() -> None:
         default="mcf,libquantum,milc,sphinx3,bwaves,lbm",
         help="comma-separated surrogate names, or 'all' for the full suite",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="optional result-cache directory; re-runs skip finished cells",
+    )
     args = parser.parse_args()
 
     if args.benchmarks.strip() == "all":
@@ -35,9 +49,9 @@ def main() -> None:
         names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
 
     print(f"simulating {len(names)} benchmarks x 5 core variants "
-          f"({args.uops} micro-ops each) ...\n")
-    traces = [build_surrogate(name, num_uops=args.uops) for name in names]
-    comparison = run_performance_comparison(traces)
+          f"({args.uops} micro-ops each, {args.workers} worker(s)) ...\n")
+    engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
+    comparison = engine.run_workloads(names, num_uops=args.uops)
 
     print(format_performance_figure(comparison))
     print()

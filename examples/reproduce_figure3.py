@@ -6,14 +6,17 @@ style energy model and prints per-benchmark and average energy savings — the
 same series the paper's Figure 3 plots (paper averages: RA −2.7%, RA-buffer
 ~0%, PRE +6.1%, PRE+EMQ +7.2%).
 
-Run with:  python examples/reproduce_figure3.py [--uops N]
+The suite runs through :class:`repro.simulation.engine.ExperimentEngine`; the
+equivalent CLI is ``python -m repro sweep --figure 3``.
+
+Run with:  python examples/reproduce_figure3.py [--uops N] [--workers N]
+                                                [--cache-dir DIR]
 """
 
 import argparse
 
 from repro.analysis.report import format_energy_figure
-from repro.simulation.experiment import run_performance_comparison
-from repro.workloads.spec_surrogates import build_surrogate
+from repro.simulation.engine import ExperimentEngine
 
 
 def main() -> None:
@@ -22,12 +25,17 @@ def main() -> None:
                         help="micro-ops per benchmark trace (default: 5000)")
     parser.add_argument("--benchmarks", type=str,
                         default="mcf,libquantum,milc,sphinx3,bwaves,lbm")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep (default: 1, serial)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="optional result-cache directory")
     args = parser.parse_args()
 
     names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
-    traces = [build_surrogate(name, num_uops=args.uops) for name in names]
-    print(f"simulating {len(names)} benchmarks x 5 core variants ...\n")
-    comparison = run_performance_comparison(traces)
+    print(f"simulating {len(names)} benchmarks x 5 core variants "
+          f"({args.workers} worker(s)) ...\n")
+    engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
+    comparison = engine.run_workloads(names, num_uops=args.uops)
 
     print(format_energy_figure(comparison))
     print()

@@ -32,10 +32,22 @@ from repro.core import (
 )
 from repro.energy import EnergyModel, EnergyReport
 from repro.memory import HierarchyConfig, MemoryHierarchy
+from repro.registry import (
+    VARIANT_REGISTRY,
+    WORKLOAD_REGISTRY,
+    build_workload,
+    register_variant,
+    register_workload,
+    variant_names,
+    workload_names,
+)
 from repro.simulation import (
     ComparisonResult,
+    ExperimentEngine,
     SimulationResult,
     Simulator,
+    SweepResult,
+    SweepSpec,
     run_comparison,
     run_performance_comparison,
     run_variant,
@@ -65,9 +77,19 @@ __all__ = [
     "EnergyReport",
     "HierarchyConfig",
     "MemoryHierarchy",
+    "VARIANT_REGISTRY",
+    "WORKLOAD_REGISTRY",
+    "build_workload",
+    "register_variant",
+    "register_workload",
+    "variant_names",
+    "workload_names",
     "ComparisonResult",
+    "ExperimentEngine",
     "SimulationResult",
     "Simulator",
+    "SweepResult",
+    "SweepSpec",
     "run_comparison",
     "run_performance_comparison",
     "run_variant",

@@ -1,0 +1,227 @@
+"""``python -m repro`` — the reproduction's command-line interface.
+
+Three subcommands drive the experiment engine:
+
+* ``python -m repro list`` — show every registered workload and core variant;
+* ``python -m repro sweep`` — run a benchmarks x variants sweep (optionally in
+  parallel and against a result cache) and print the paper's Figure 2/3
+  tables; ``--output`` saves the full result for later reporting;
+* ``python -m repro report`` — re-render figures/summary from a saved sweep
+  without re-simulating anything.
+
+Reproducing the paper end to end::
+
+    python -m repro sweep --benchmarks all --uops 5000 \
+        --workers 4 --cache-dir .repro-cache --output sweep.json
+    python -m repro report sweep.json --figure 2
+    python -m repro report sweep.json --figure 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import (
+    format_energy_figure,
+    format_performance_figure,
+    summarize_comparison,
+)
+from repro.uarch.config import CoreConfig
+from repro.registry import VARIANT_REGISTRY, WORKLOAD_REGISTRY
+from repro.simulation.engine import ExperimentEngine, SweepResult, SweepSpec
+
+
+def _parse_names(raw: str, available: Sequence[str], kind: str) -> List[str]:
+    """Parse a comma-separated name list, with ``all`` meaning every name."""
+    if raw.strip() == "all":
+        return list(available)
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    if not names:
+        raise SystemExit(f"no {kind} selected (got {raw!r})")
+    return names
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--set key=value`` flags into CoreConfig overrides."""
+    valid = {field.name for field in dataclasses.fields(CoreConfig)}
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        if key not in valid:
+            raise SystemExit(
+                f"--set: unknown CoreConfig field {key!r}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
+        try:
+            overrides[key] = ast.literal_eval(value.strip())
+        except (ValueError, SyntaxError):
+            # Every CoreConfig field is numeric, so an unparseable value is a
+            # user error, not a string field.
+            raise SystemExit(
+                f"--set: could not parse value {value.strip()!r} for {key!r} "
+                f"(expected a number)"
+            )
+    return overrides
+
+
+def _print_comparison(comparison, figure: str) -> None:
+    if figure in ("2", "all"):
+        print(format_performance_figure(comparison))
+        print()
+    if figure in ("3", "all"):
+        print(format_energy_figure(comparison))
+        print()
+    if figure in ("summary", "all"):
+        print("Headline comparison "
+              "(paper: RA +14.5%, RA-buffer +14.4%, PRE +35.5%, PRE+EMQ +28.6%):")
+        print(summarize_comparison(comparison))
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Variants (figure order):")
+    for entry in VARIANT_REGISTRY.entries():
+        print(f"  {entry.name:18s} {entry.label:10s} {entry.description}")
+    print()
+    print("Workloads:")
+    for entry in WORKLOAD_REGISTRY.entries():
+        print(f"  {entry.name:18s} {entry.description}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workloads = _parse_names(args.benchmarks, WORKLOAD_REGISTRY.names(), "benchmarks")
+    variants = _parse_names(args.variants, VARIANT_REGISTRY.names(), "variants")
+    spec = SweepSpec(
+        workloads=workloads,
+        variants=variants,
+        num_uops=args.uops,
+        max_cycles=args.max_cycles,
+        configs=[_parse_overrides(args.set or [])],
+    )
+    engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
+    print(
+        f"sweeping {len(workloads)} benchmarks x {len(spec.resolved_variants())} variants "
+        f"({args.uops} micro-ops each, {args.workers} worker(s)"
+        + (f", cache: {args.cache_dir}" if args.cache_dir else "")
+        + ") ...",
+        file=sys.stderr,
+    )
+    result = engine.run_sweep(spec)
+    stats = engine.last_run_stats
+    print(
+        f"done: {stats.total_jobs} cells, {stats.simulated} simulated, "
+        f"{stats.cache_hits} from cache\n",
+        file=sys.stderr,
+    )
+    _print_comparison(result.comparison, args.figure)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle)
+        print(f"\nfull sweep result written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    with open(args.result, "r", encoding="utf-8") as handle:
+        result = SweepResult.from_dict(json.load(handle))
+    for cell in result.cells:
+        if cell.overrides:
+            print(f"configuration overrides: {cell.overrides}")
+            print()
+        _print_comparison(cell.comparison, args.figure)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's evaluation via the experiment engine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub_list = sub.add_parser("list", help="list registered workloads and variants")
+    sub_list.set_defaults(func=_cmd_list)
+
+    sub_sweep = sub.add_parser("sweep", help="run a benchmarks x variants sweep")
+    sub_sweep.add_argument(
+        "--benchmarks",
+        default="mcf,libquantum,milc,sphinx3,bwaves,lbm",
+        help="comma-separated workload names, or 'all' for the full suite",
+    )
+    sub_sweep.add_argument(
+        "--variants",
+        default="all",
+        help="comma-separated variant names, or 'all' (the baseline is always added)",
+    )
+    sub_sweep.add_argument(
+        "--uops", type=int, default=5_000,
+        help="micro-ops per benchmark trace (default: 5000)",
+    )
+    sub_sweep.add_argument(
+        "--max-cycles", type=int, default=None,
+        help="optional per-simulation cycle budget",
+    )
+    sub_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; results are identical either way)",
+    )
+    sub_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory; re-runs only simulate changed cells",
+    )
+    sub_sweep.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="CoreConfig override (repeatable), e.g. --set rob_size=256",
+    )
+    sub_sweep.add_argument(
+        "--output", default=None,
+        help="write the full sweep result as JSON for 'python -m repro report'",
+    )
+    sub_sweep.add_argument(
+        "--figure", choices=("2", "3", "summary", "all"), default="all",
+        help="which figure/table to print (default: all)",
+    )
+    sub_sweep.set_defaults(func=_cmd_sweep)
+
+    sub_report = sub.add_parser(
+        "report", help="render figures from a saved sweep result"
+    )
+    sub_report.add_argument("result", help="JSON file written by 'sweep --output'")
+    sub_report.add_argument(
+        "--figure", choices=("2", "3", "summary", "all"), default="all",
+        help="which figure/table to print (default: all)",
+    )
+    sub_report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into head); exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (KeyError, ValueError) as exc:
+        # Registry lookups raise KeyError and configuration validation raises
+        # ValueError, both with user-facing messages.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,11 +86,14 @@ def summarize_comparison(comparison: ComparisonResult) -> str:
             continue
         speedup = comparison.mean_speedup_percent(variant)
         energy = comparison.mean_energy_savings_percent(variant)
-        invocations = (
-            comparison.mean_invocation_ratio(variant)
-            if variant in ("pre", "pre_emq")
-            else None
-        )
+        invocations = None
+        if variant in ("pre", "pre_emq") and "runahead" in comparison.variants:
+            try:
+                invocations = comparison.mean_invocation_ratio(variant)
+            except ValueError:
+                # Every per-benchmark ratio was degenerate (no runahead
+                # entries on this suite); omit the statistic from the line.
+                invocations = None
         line = f"{variant:>16}: speedup {speedup:+6.1f}%, energy saving {energy:+5.1f}%"
         if invocations:
             line += f", {invocations:.2f}x more runahead invocations than RA"

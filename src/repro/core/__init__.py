@@ -11,6 +11,12 @@ This package implements the four runahead configurations the paper evaluates
 * ``"pre_emq"`` — PRE with the Extended Micro-op Queue optimisation.
 
 Use :func:`build_controller` or :func:`build_core` to construct them by name.
+
+Variants live in the :data:`repro.registry.VARIANT_REGISTRY`; additional
+variants can be added from anywhere with
+:func:`repro.registry.register_variant` and are then accepted by
+:func:`build_controller`, the experiment engine and the ``python -m repro``
+CLI without further changes here.
 """
 
 from __future__ import annotations
@@ -25,22 +31,57 @@ from repro.core.runahead import TraditionalRunaheadController
 from repro.core.runahead_buffer import DependencyChain, RunaheadBufferController
 from repro.core.sst import StallingSliceTable
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.registry import VARIANT_REGISTRY, register_variant
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import OoOCore
 from repro.workloads.trace import Trace
 
-#: The variant names accepted by :func:`build_controller` and :func:`build_core`,
-#: in the order the paper's figures present them.
-VARIANTS = ("ooo", "runahead", "runahead_buffer", "pre", "pre_emq")
+
+@register_variant("ooo", label="OoO", description="baseline out-of-order core")
+def _build_ooo() -> None:
+    return None
+
+
+@register_variant(
+    "runahead",
+    label="RA",
+    description="traditional runahead execution with the short-interval filter",
+)
+def _build_runahead() -> TraditionalRunaheadController:
+    return TraditionalRunaheadController()
+
+
+@register_variant(
+    "runahead_buffer",
+    label="RA-buffer",
+    description="filtered runahead replaying one stalling slice from a buffer",
+)
+def _build_runahead_buffer() -> RunaheadBufferController:
+    return RunaheadBufferController()
+
+
+@register_variant("pre", label="PRE", description="precise runahead execution")
+def _build_pre() -> PreciseRunaheadController:
+    return PreciseRunaheadController(use_emq=False)
+
+
+@register_variant(
+    "pre_emq",
+    label="PRE+EMQ",
+    description="precise runahead execution with the extended micro-op queue",
+)
+def _build_pre_emq() -> PreciseRunaheadController:
+    return PreciseRunaheadController(use_emq=True)
+
+
+#: The built-in variant names, in the order the paper's figures present them.
+#: New code should prefer :func:`repro.registry.variant_names`, which also
+#: covers variants registered after import.
+VARIANTS = tuple(VARIANT_REGISTRY.names())
 
 #: Human-readable labels used by reports, matching the paper's terminology.
-VARIANT_LABELS = {
-    "ooo": "OoO",
-    "runahead": "RA",
-    "runahead_buffer": "RA-buffer",
-    "pre": "PRE",
-    "pre_emq": "PRE+EMQ",
-}
+#: This is a live view: variants registered later appear automatically.
+VARIANT_LABELS = VARIANT_REGISTRY.labels_view()
 
 
 def build_controller(variant: str) -> Optional[RunaheadController]:
@@ -49,19 +90,16 @@ def build_controller(variant: str) -> Optional[RunaheadController]:
     Raises
     ------
     ValueError
-        If ``variant`` is not one of :data:`VARIANTS`.
+        If ``variant`` is not registered in the variant registry.
     """
-    if variant == "ooo":
-        return None
-    if variant == "runahead":
-        return TraditionalRunaheadController()
-    if variant == "runahead_buffer":
-        return RunaheadBufferController()
-    if variant == "pre":
-        return PreciseRunaheadController(use_emq=False)
-    if variant == "pre_emq":
-        return PreciseRunaheadController(use_emq=True)
-    raise ValueError(f"unknown variant {variant!r}; expected one of {', '.join(VARIANTS)}")
+    try:
+        entry = VARIANT_REGISTRY.get(variant)
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of "
+            f"{', '.join(VARIANT_REGISTRY.names())}"
+        ) from None
+    return entry.create()
 
 
 def build_core(

@@ -101,6 +101,25 @@ class RunaheadBufferController(RunaheadController):
         self._prefetch_pointer = 0
         self._pc_index: Dict[int, List[int]] = {}
 
+    # ------------------------------------------------------------ properties
+
+    #: Bytes of runahead-buffer storage per chain micro-op (pc + class + regs).
+    BYTES_PER_CHAIN_UOP = 8
+    #: Chain length assumed before :meth:`attach` provides the core's config.
+    DEFAULT_MAX_CHAIN_LENGTH = 32
+    #: Smallest SRAM macro the energy model will instantiate for the buffer.
+    MIN_STORAGE_BYTES = 64
+
+    @property
+    def max_chain_length(self) -> int:
+        """Maximum dependence-chain length the buffer stores."""
+        return self._max_chain_length or self.DEFAULT_MAX_CHAIN_LENGTH
+
+    @property
+    def storage_bytes(self) -> int:
+        """SRAM capacity of the runahead buffer, as modelled for energy."""
+        return max(self.max_chain_length * self.BYTES_PER_CHAIN_UOP, self.MIN_STORAGE_BYTES)
+
     # ------------------------------------------------------------- lifecycle
 
     def attach(self, core) -> None:
@@ -166,7 +185,7 @@ class RunaheadBufferController(RunaheadController):
         other = core.rob.find_other_instance(head.uop.pc, head.seq)
         if other is None:
             return None
-        max_length = self._max_chain_length or 32
+        max_length = self.max_chain_length
         chain: List["DynInstr"] = [other]
         chain_pcs = {other.uop.pc}
         needed = set(other.uop.srcs)

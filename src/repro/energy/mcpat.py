@@ -14,9 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.serde import JSONSerializable
+
 
 @dataclass(frozen=True)
-class EnergyParameters:
+class EnergyParameters(JSONSerializable):
     """Per-event dynamic energies (pJ) and static powers (W) of the modelled core."""
 
     # Front end
@@ -51,7 +53,7 @@ class EnergyParameters:
 
 
 @dataclass
-class EnergyBreakdown:
+class EnergyBreakdown(JSONSerializable):
     """Energy of one simulation run, broken down by component (nanojoules)."""
 
     frontend_nj: float = 0.0

@@ -16,12 +16,13 @@ from typing import Dict, Optional
 from repro.energy.cacti import SRAMModel
 from repro.energy.mcpat import EnergyBreakdown, EnergyParameters
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.serde import JSONSerializable
 from repro.uarch.config import CoreConfig
 from repro.uarch.stats import CoreStats
 
 
 @dataclass
-class EnergyReport:
+class EnergyReport(JSONSerializable):
     """Total energy of one run plus its component breakdown."""
 
     variant: str

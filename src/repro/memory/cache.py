@@ -6,9 +6,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.serde import JSONSerializable
+
 
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(JSONSerializable):
     """Geometry and latency of a single cache level.
 
     Attributes

@@ -14,9 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.serde import JSONSerializable
+
 
 @dataclass(frozen=True)
-class DRAMConfig:
+class DRAMConfig(JSONSerializable):
     """DRAM organisation and timing parameters (Table 1)."""
 
     core_frequency_ghz: float = 2.66

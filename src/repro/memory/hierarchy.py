@@ -22,6 +22,7 @@ from repro.memory.cache import CacheConfig, SetAssociativeCache
 from repro.memory.dram import DRAMConfig, DRAMModel
 from repro.memory.mshr import MSHRFile
 from repro.memory.prefetcher import NextLinePrefetcher, StridePrefetcher
+from repro.serde import JSONSerializable
 
 
 class MemoryLevel(enum.Enum):
@@ -61,7 +62,7 @@ class AccessResult:
 
 
 @dataclass
-class HierarchyConfig:
+class HierarchyConfig(JSONSerializable):
     """Configuration of the full memory hierarchy (defaults follow Table 1)."""
 
     l1i: CacheConfig = field(

@@ -1,0 +1,168 @@
+"""JSON serialisation for the repro dataclasses.
+
+Every result and configuration object the experiment engine persists —
+:class:`~repro.uarch.config.CoreConfig`,
+:class:`~repro.memory.hierarchy.HierarchyConfig`,
+:class:`~repro.uarch.stats.CoreStats`,
+:class:`~repro.energy.model.EnergyReport`,
+:class:`~repro.simulation.simulator.SimulationResult` and
+:class:`~repro.simulation.experiment.ComparisonResult` — is a (possibly
+nested) dataclass.  Rather than hand-writing one encoder/decoder pair per
+class, this module walks dataclass fields and their type hints generically:
+
+* :func:`to_jsonable` lowers a dataclass tree to plain dicts, lists, strings
+  and numbers (enums become their ``value``), i.e. something ``json.dumps``
+  accepts directly;
+* :func:`from_jsonable` rebuilds the typed object tree from that
+  representation, dispatching on the declared field types (``Optional``,
+  ``List``/``Sequence``, ``Tuple``, ``Dict``, enums and nested dataclasses).
+
+Classes opt in by inheriting :class:`JSONSerializable`, which adds the
+``to_dict``/``from_dict``/``to_json``/``from_json`` quartet.  Round-tripping
+is exact: ints stay ints and floats survive ``repr`` round-trips, so a result
+loaded from the on-disk cache compares equal to the freshly simulated one.
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import dataclasses
+import enum
+import json
+import typing
+from typing import Any, Dict, Type, TypeVar, Union
+
+T = TypeVar("T")
+
+#: Per-class cache of resolved field type hints (``get_type_hints`` is slow).
+_HINT_CACHE: Dict[type, Dict[str, Any]] = {}
+
+
+def _field_hints(cls: type) -> Dict[str, Any]:
+    if cls not in _HINT_CACHE:
+        _HINT_CACHE[cls] = typing.get_type_hints(cls)
+    return _HINT_CACHE[cls]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Lower ``value`` (dataclasses, enums, containers) to JSON-compatible types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {_encode_key(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    return value
+
+
+def from_jsonable(hint: Any, data: Any) -> Any:
+    """Rebuild a typed value from :func:`to_jsonable` output, guided by ``hint``."""
+    if hint is Any or hint is None:
+        return data
+    origin = typing.get_origin(hint)
+    if origin is Union:  # Optional[X] and general unions
+        args = [arg for arg in typing.get_args(hint) if arg is not type(None)]
+        if data is None:
+            return None
+        if len(args) == 1:
+            return from_jsonable(args[0], data)
+        return data
+    sequence_origins = (
+        list,
+        tuple,
+        collections.abc.Sequence,
+        collections.abc.MutableSequence,
+    )
+    if origin in sequence_origins or (origin is None and hint in (list, tuple)):
+        args = typing.get_args(hint)
+        if (origin is tuple or hint is tuple) and args and args[-1] is not Ellipsis:
+            return tuple(from_jsonable(arg, item) for arg, item in zip(args, data))
+        item_hint = args[0] if args else Any
+        items = [from_jsonable(item_hint, item) for item in data]
+        return tuple(items) if origin is tuple or hint is tuple else items
+    mapping_origins = (dict, collections.abc.Mapping, collections.abc.MutableMapping)
+    if origin in mapping_origins or (origin is None and hint is dict):
+        args = typing.get_args(hint)
+        key_hint = args[0] if len(args) == 2 else Any
+        value_hint = args[1] if len(args) == 2 else Any
+        return {
+            _decode_key(key_hint, key): from_jsonable(value_hint, item)
+            for key, item in data.items()
+        }
+    if isinstance(hint, type) and issubclass(hint, enum.Enum):
+        return hint(data)
+    if dataclasses.is_dataclass(hint) and isinstance(hint, type):
+        return _dataclass_from_jsonable(hint, data)
+    return data
+
+
+def _encode_key(key: Any) -> str:
+    """Stringify a dict key the way :func:`_decode_key` can undo."""
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    return str(key)
+
+
+def _decode_key(hint: Any, key: str) -> Any:
+    """Undo the key stringification JSON forces on non-string dict keys."""
+    if hint is int:
+        return int(key)
+    if hint is float:
+        return float(key)
+    if isinstance(hint, type) and issubclass(hint, enum.Enum):
+        try:
+            return hint(key)
+        except ValueError:
+            return hint(int(key))  # int-valued enums stringify as digits
+    return key
+
+
+def _dataclass_from_jsonable(cls: Type[T], data: Any) -> T:
+    if not isinstance(data, dict):
+        raise TypeError(
+            f"cannot rebuild {cls.__name__} from {type(data).__name__}; expected a dict"
+        )
+    hints = _field_hints(cls)
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        if not field.init or field.name not in data:
+            continue
+        kwargs[field.name] = from_jsonable(hints.get(field.name, Any), data[field.name])
+    return cls(**kwargs)
+
+
+class JSONSerializable:
+    """Mixin adding a JSON round-trip to a dataclass.
+
+    ``from_dict`` accepts the output of ``to_dict`` (or any dict with the
+    same shape, e.g. parsed from a cache file) and rebuilds a fully typed
+    instance, recursing into nested dataclasses, lists and mappings.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-compatible dict representation of this object."""
+        return to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls: Type[T], data: Dict[str, Any]) -> T:
+        """Rebuild an instance from :meth:`to_dict` output."""
+        return _dataclass_from_jsonable(cls, data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls: Type[T], text: str) -> T:
+        """Rebuild an instance from a JSON string."""
+        return cls.from_dict(json.loads(text))
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding used for content-hash cache keys."""
+    return json.dumps(to_jsonable(value), sort_keys=True, separators=(",", ":"))

@@ -1,4 +1,4 @@
-"""Simulation drivers: single runs, variant comparisons, and derived metrics."""
+"""Simulation drivers: single runs, variant comparisons, sweeps, and metrics."""
 
 from repro.simulation.simulator import SimulationResult, Simulator, run_variant
 from repro.simulation.experiment import (
@@ -6,6 +6,14 @@ from repro.simulation.experiment import (
     ComparisonResult,
     run_comparison,
     run_performance_comparison,
+)
+from repro.simulation.engine import (
+    EngineRunStats,
+    ExperimentEngine,
+    ResultCache,
+    SweepCell,
+    SweepResult,
+    SweepSpec,
 )
 from repro.simulation.metrics import (
     arithmetic_mean,
@@ -24,6 +32,12 @@ __all__ = [
     "ComparisonResult",
     "run_comparison",
     "run_performance_comparison",
+    "EngineRunStats",
+    "ExperimentEngine",
+    "ResultCache",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
     "arithmetic_mean",
     "geometric_mean",
     "interval_length_histogram",

@@ -1,0 +1,536 @@
+"""Parallel experiment engine with an on-disk result cache.
+
+The paper's evaluation is a cross-product of workloads x core variants
+(optionally x configuration overrides).  Every cell of that grid is an
+independent simulation, so this module expands a sweep into *jobs* and runs
+them:
+
+* **in parallel** across processes (``workers > 1``) via
+  ``concurrent.futures.ProcessPoolExecutor``, with a **serial fallback**
+  (``workers = 1``, or when the platform cannot spawn processes);
+* **deterministically** — jobs are expanded and reassembled in a fixed order,
+  and both execution paths funnel each cell through the same worker function
+  and the same JSON round-trip, so parallel and serial sweeps produce
+  bit-identical :class:`~repro.simulation.experiment.ComparisonResult` tables;
+* **incrementally** — with a ``cache_dir``, each finished cell is written to
+  disk keyed by a content hash of (workload, variant, configuration), so
+  re-running a sweep only simulates cells whose inputs changed.
+
+Workloads are referenced *by name* through
+:data:`repro.registry.WORKLOAD_REGISTRY` (worker processes rebuild the trace
+locally rather than unpickling megabytes of micro-ops), and variants through
+:data:`repro.registry.VARIANT_REGISTRY`; anything registered with
+``@register_workload`` / ``@register_variant`` can be swept.  Pre-built
+:class:`~repro.workloads.trace.Trace` objects are also accepted
+(:meth:`ExperimentEngine.run_traces`) and cached by a digest of their content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+import repro.workloads  # noqa: F401  (imported for its workload registrations)
+from repro.memory.hierarchy import HierarchyConfig
+from repro.registry import VARIANT_REGISTRY, WORKLOAD_REGISTRY, build_workload
+from repro.serde import JSONSerializable, canonical_json
+from repro.simulation.experiment import BenchmarkResult, ComparisonResult
+from repro.simulation.simulator import SimulationResult, run_variant
+from repro.uarch.config import CoreConfig
+from repro.workloads.trace import Trace
+
+#: Bump when the simulator or result schema changes incompatibly; invalidates
+#: every cached result.
+CACHE_SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- sweeps
+
+
+@dataclass
+class SweepSpec(JSONSerializable):
+    """Declarative description of a sweep: benchmarks x variants x configs.
+
+    ``workloads`` are registry names; ``variants`` defaults to every
+    registered variant (in figure order); ``configs`` is a list of
+    :class:`~repro.uarch.config.CoreConfig` override dicts — one comparison
+    grid is produced per entry, enabling ablation sweeps in a single run.
+    """
+
+    workloads: Sequence[str]
+    variants: Sequence[str] = ()
+    num_uops: Optional[int] = None
+    max_cycles: Optional[int] = None
+    configs: Sequence[Dict[str, Any]] = field(default_factory=lambda: [{}])
+
+    def resolved_variants(self) -> List[str]:
+        """The variant list with the baseline prepended, validated early."""
+        variants = list(self.variants) or VARIANT_REGISTRY.names()
+        if "ooo" not in variants:
+            variants.insert(0, "ooo")
+        for variant in variants:
+            VARIANT_REGISTRY.get(variant)  # raises KeyError on unknown names
+        return variants
+
+    def resolved_workloads(self) -> List[str]:
+        """The workload list, validated against the registry."""
+        workloads = list(self.workloads)
+        for name in workloads:
+            WORKLOAD_REGISTRY.get(name)  # raises KeyError on unknown names
+        return workloads
+
+
+@dataclass
+class SweepCell(JSONSerializable):
+    """One configuration point of a sweep and its full comparison grid."""
+
+    overrides: Dict[str, Any]
+    comparison: ComparisonResult
+
+
+@dataclass
+class SweepResult(JSONSerializable):
+    """Everything a sweep produced, serialisable for ``python -m repro report``."""
+
+    spec: SweepSpec
+    cells: List[SweepCell]
+
+    @property
+    def comparison(self) -> ComparisonResult:
+        """The comparison grid of a single-configuration sweep."""
+        if len(self.cells) != 1:
+            raise ValueError(
+                f"sweep has {len(self.cells)} configuration cells; "
+                "pick one explicitly via .cells"
+            )
+        return self.cells[0].comparison
+
+
+@dataclass
+class EngineRunStats:
+    """Accounting for one engine run (exposed for logs and tests)."""
+
+    total_jobs: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+
+
+# ----------------------------------------------------------------- job model
+
+
+def _trace_digest(trace: Trace) -> str:
+    """Content hash of a trace: every micro-op field contributes."""
+    hasher = hashlib.sha256()
+    for uop in trace:
+        hasher.update(
+            repr(
+                (
+                    uop.pc,
+                    uop.uop_class.value,
+                    uop.srcs,
+                    uop.dst,
+                    uop.mem_addr,
+                    uop.mem_size,
+                    uop.branch_taken,
+                    uop.branch_target,
+                )
+            ).encode()
+        )
+    return hasher.hexdigest()
+
+
+def _job_payload(
+    benchmark: str,
+    variant: str,
+    source: Dict[str, Any],
+    trace: Optional[Trace],
+    config: CoreConfig,
+    hierarchy_config: Optional[HierarchyConfig],
+    max_cycles: Optional[int],
+) -> Dict[str, Any]:
+    return {
+        "benchmark": benchmark,
+        "variant": variant,
+        "source": source,
+        "trace": trace,
+        "config": config.to_dict(),
+        "hierarchy": hierarchy_config.to_dict() if hierarchy_config else None,
+        "max_cycles": max_cycles,
+    }
+
+
+def _job_cache_key(payload: Dict[str, Any]) -> str:
+    """Content hash identifying a job's full input."""
+    source = payload["source"]
+    if source["kind"] == "trace" and "digest" not in source:
+        source = dict(source)
+        source["digest"] = _trace_digest(payload["trace"])
+    descriptor = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "variant": payload["variant"],
+        "source": source,
+        "config": payload["config"],
+        "hierarchy": payload["hierarchy"],
+        "max_cycles": payload["max_cycles"],
+    }
+    return hashlib.sha256(canonical_json(descriptor).encode()).hexdigest()
+
+
+def _workload_token(entry: Any) -> Any:
+    """Cache-token for a registered workload.
+
+    An explicit ``cache_token`` in the registry metadata wins.  Otherwise a
+    best-effort digest of the factory's code object and defaults is derived,
+    so editing a custom workload's generator invalidates its cached cells
+    instead of silently serving stale results.
+    """
+    token = entry.metadata.get("cache_token")
+    if token is not None:
+        return token
+    factory = entry.factory
+    func = getattr(factory, "__func__", factory)  # unwrap bound methods
+    code = getattr(func, "__code__", None)
+    if code is None:
+        return None
+    return {
+        "qualname": getattr(func, "__qualname__", entry.name),
+        "code": hashlib.sha256(code.co_code).hexdigest(),
+        "consts": repr(code.co_consts),
+        "defaults": repr(getattr(func, "__defaults__", None)),
+    }
+
+
+def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one (benchmark, variant, config) cell; returns a JSON-able result.
+
+    Top-level so it pickles into worker processes.  Both the serial and the
+    parallel path call exactly this function, which is what makes them
+    equivalent by construction.
+    """
+    source = payload["source"]
+    if source["kind"] == "workload":
+        trace = build_workload(source["name"], num_uops=source.get("num_uops"))
+    else:
+        trace = payload["trace"]
+    config = CoreConfig.from_dict(payload["config"])
+    hierarchy_config = (
+        HierarchyConfig.from_dict(payload["hierarchy"]) if payload["hierarchy"] else None
+    )
+    result = run_variant(
+        trace,
+        variant=payload["variant"],
+        config=config,
+        hierarchy_config=hierarchy_config,
+        max_cycles=payload["max_cycles"],
+    )
+    return result.to_dict()
+
+
+def _execute_batch(payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Run a batch of jobs in one worker (jobs sharing a pickled trace)."""
+    return [_execute_job(payload) for payload in payloads]
+
+
+# --------------------------------------------------------------- result cache
+
+
+class ResultCache:
+    """On-disk cache of finished simulation cells, keyed by content hash.
+
+    One JSON file per cell.  Corrupt or unreadable entries degrade to cache
+    misses; writes go through a temp file + atomic rename so a crashed run
+    never leaves a half-written entry behind.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """The file that does or would hold ``key``'s result."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        # pathlib's "*" matches dotfiles, so exclude in-flight temp files.
+        return sum(
+            1
+            for path in self.directory.glob("*.json")
+            if not path.name.startswith(".")
+        )
+
+
+# --------------------------------------------------------------------- engine
+
+
+class ExperimentEngine:
+    """Expands sweeps into jobs and runs them in parallel, serially, or from cache.
+
+    Parameters
+    ----------
+    workers:
+        Process count for the pool; ``1`` runs everything in-process (the
+        serial fallback).  Results are identical either way.
+    cache_dir:
+        Directory for the :class:`ResultCache`; ``None`` disables caching.
+    config:
+        Base :class:`~repro.uarch.config.CoreConfig` for every job (sweep
+        configuration overrides are applied on top of it).
+    hierarchy_config:
+        Optional memory-hierarchy configuration shared by every job.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        config: Optional[CoreConfig] = None,
+        hierarchy_config: Optional[HierarchyConfig] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.config = config or CoreConfig()
+        self.hierarchy_config = hierarchy_config
+        self.last_run_stats = EngineRunStats()
+
+    # ----------------------------------------------------------- public API
+
+    def run_sweep(self, spec: SweepSpec) -> SweepResult:
+        """Run a full sweep spec and return one comparison grid per config."""
+        variants = spec.resolved_variants()
+        workloads = spec.resolved_workloads()
+        override_sets = [dict(overrides) for overrides in spec.configs] or [{}]
+
+        payloads: List[Dict[str, Any]] = []
+        for overrides in override_sets:
+            config = self.config.with_overrides(**overrides) if overrides else self.config
+            for name in workloads:
+                entry = WORKLOAD_REGISTRY.get(name)
+                source = {
+                    "kind": "workload",
+                    "name": name,
+                    "num_uops": spec.num_uops,
+                    "token": _workload_token(entry),
+                }
+                for variant in variants:
+                    payloads.append(
+                        _job_payload(
+                            benchmark=name,
+                            variant=variant,
+                            source=source,
+                            trace=None,
+                            config=config,
+                            hierarchy_config=self.hierarchy_config,
+                            max_cycles=spec.max_cycles,
+                        )
+                    )
+
+        results = self._run_jobs(payloads)
+        cells: List[SweepCell] = []
+        cursor = 0
+        grid = len(workloads) * len(variants)
+        for overrides in override_sets:
+            chunk = results[cursor : cursor + grid]
+            cursor += grid
+            benchmarks = [
+                BenchmarkResult(
+                    benchmark=workloads[i],
+                    results={
+                        variants[j]: chunk[i * len(variants) + j]
+                        for j in range(len(variants))
+                    },
+                )
+                for i in range(len(workloads))
+            ]
+            cells.append(
+                SweepCell(
+                    overrides=overrides,
+                    comparison=ComparisonResult(benchmarks=benchmarks, variants=variants),
+                )
+            )
+        return SweepResult(spec=spec, cells=cells)
+
+    def run_traces(
+        self,
+        traces: Iterable[Trace],
+        variants: Sequence[str] = (),
+        max_cycles: Optional[int] = None,
+    ) -> ComparisonResult:
+        """Run pre-built traces on every variant (the ``run_comparison`` path)."""
+        trace_list = list(traces)
+        variant_list = list(variants) or VARIANT_REGISTRY.names()
+        if "ooo" not in variant_list:
+            variant_list.insert(0, "ooo")
+
+        payloads: List[Dict[str, Any]] = []
+        for trace in trace_list:
+            source = {"kind": "trace", "name": trace.name}
+            if self.cache is not None:
+                # Hash the trace once here rather than once per variant job.
+                source["digest"] = _trace_digest(trace)
+            for variant in variant_list:
+                payloads.append(
+                    _job_payload(
+                        benchmark=trace.name,
+                        variant=variant,
+                        source=source,
+                        trace=trace,
+                        config=self.config,
+                        hierarchy_config=self.hierarchy_config,
+                        max_cycles=max_cycles,
+                    )
+                )
+
+        results = self._run_jobs(payloads)
+        benchmarks = [
+            BenchmarkResult(
+                benchmark=trace.name,
+                results={
+                    variant_list[j]: results[i * len(variant_list) + j]
+                    for j in range(len(variant_list))
+                },
+            )
+            for i, trace in enumerate(trace_list)
+        ]
+        return ComparisonResult(benchmarks=benchmarks, variants=variant_list)
+
+    def run_workloads(
+        self,
+        workloads: Sequence[str],
+        variants: Sequence[str] = (),
+        num_uops: Optional[int] = None,
+        max_cycles: Optional[int] = None,
+    ) -> ComparisonResult:
+        """Run registered workloads by name on every variant."""
+        sweep = self.run_sweep(
+            SweepSpec(
+                workloads=list(workloads),
+                variants=list(variants),
+                num_uops=num_uops,
+                max_cycles=max_cycles,
+            )
+        )
+        return sweep.comparison
+
+    # ------------------------------------------------------------ execution
+
+    def _run_jobs(self, payloads: List[Dict[str, Any]]) -> List[SimulationResult]:
+        """Run jobs in their given order; cache first, then pool or serial."""
+        stats = EngineRunStats(total_jobs=len(payloads))
+        outputs: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(payloads)
+
+        for index, payload in enumerate(payloads):
+            if self.cache is not None:
+                keys[index] = _job_cache_key(payload)
+                cached = self.cache.get(keys[index])
+                if cached is not None:
+                    outputs[index] = cached
+                    stats.cache_hits += 1
+                    continue
+            pending.append(index)
+
+        if pending:
+            fresh = self._execute_pending([payloads[i] for i in pending])
+            for index, produced in zip(pending, fresh):
+                outputs[index] = produced
+                stats.simulated += 1
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.put(keys[index], produced)
+
+        self.last_run_stats = stats
+        return [SimulationResult.from_dict(output) for output in outputs]
+
+    def _execute_pending(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        batches = self._batch_payloads(payloads)
+        if self.workers > 1 and len(batches) > 1:
+            try:
+                max_workers = min(self.workers, len(batches))
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    futures = [pool.submit(_execute_batch, batch) for batch in batches]
+                    return [result for future in futures for result in future.result()]
+            except (OSError, PermissionError, BrokenProcessPool):
+                # Process pools are unavailable or the workers were killed
+                # (restricted sandbox, missing /dev/shm, OOM killer, ...):
+                # fall back to in-process execution, which produces identical
+                # results.
+                pass
+            except KeyError:
+                # A worker could not resolve a registry name that the parent
+                # validated before submission: the platform's process start
+                # method (spawn) did not inherit runtime registrations.  The
+                # in-process fallback has them.
+                pass
+        return [_execute_job(payload) for payload in payloads]
+
+    @staticmethod
+    def _batch_payloads(payloads: List[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
+        """Group consecutive jobs sharing one pre-built trace into one batch.
+
+        Trace jobs are expanded trace-major, so batching by identity ships
+        each (potentially large) trace to a worker once instead of once per
+        variant.  Registry-named jobs stay singleton batches for maximum
+        scheduling freedom.
+        """
+        batches: List[List[Dict[str, Any]]] = []
+        for payload in payloads:
+            if (
+                batches
+                and payload["trace"] is not None
+                and batches[-1][-1]["trace"] is payload["trace"]
+            ):
+                batches[-1].append(payload)
+            else:
+                batches.append([payload])
+        return batches
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "EngineRunStats",
+    "ExperimentEngine",
+    "ResultCache",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+]

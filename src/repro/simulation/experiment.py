@@ -6,14 +6,20 @@ asks: per-benchmark and mean performance normalised to the baseline core
 (Figure 2), per-benchmark and mean energy savings (Figure 3), runahead
 invocation ratios (Section 5.1), interval-length statistics (Section 2.4) and
 free-resource statistics (Section 3.4).
+
+Since the engine refactor, ``run_comparison`` is a thin wrapper over
+:class:`repro.simulation.engine.ExperimentEngine`: pass ``workers`` to fan the
+(benchmark, variant) grid out across processes and ``cache_dir`` to reuse
+results across sessions.  Both paths produce identical tables.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core import VARIANT_LABELS, VARIANTS
+from repro.serde import JSONSerializable
 from repro.simulation.metrics import (
     arithmetic_mean,
     energy_savings_percent,
@@ -21,14 +27,14 @@ from repro.simulation.metrics import (
     invocation_ratio,
     normalized_performance,
 )
-from repro.simulation.simulator import SimulationResult, Simulator
+from repro.simulation.simulator import SimulationResult
 from repro.uarch.config import CoreConfig
 from repro.memory.hierarchy import HierarchyConfig
 from repro.workloads.trace import Trace
 
 
 @dataclass
-class BenchmarkResult:
+class BenchmarkResult(JSONSerializable):
     """All variant results for one benchmark."""
 
     benchmark: str
@@ -59,18 +65,38 @@ class BenchmarkResult:
 
 
 @dataclass
-class ComparisonResult:
+class ComparisonResult(JSONSerializable):
     """Results of a full suite x variants comparison."""
 
     benchmarks: List[BenchmarkResult]
     variants: Sequence[str]
 
+    def __post_init__(self) -> None:
+        # name -> position in ``benchmarks``; looking up the position (rather
+        # than the object) keeps lookups correct when a list slot is replaced
+        # in place, and the validity check below catches renames/reorders.
+        self._name_index: Dict[str, int] = {}
+
+    def _rebuild_index(self) -> Dict[str, int]:
+        self._name_index = {
+            result.benchmark: position
+            for position, result in enumerate(self.benchmarks)
+        }
+        return self._name_index
+
     def benchmark(self, name: str) -> BenchmarkResult:
-        """Result for one benchmark by name."""
-        for result in self.benchmarks:
-            if result.benchmark == name:
-                return result
-        raise KeyError(f"no benchmark named {name!r}")
+        """Result for one benchmark by name (O(1) via a name index)."""
+        index = self._name_index
+        if len(index) != len(self.benchmarks):
+            index = self._rebuild_index()
+        position = index.get(name)
+        if position is None or self.benchmarks[position].benchmark != name:
+            # The list was mutated (appended, renamed, reordered); rebuild
+            # once before concluding the name is unknown.
+            position = self._rebuild_index().get(name)
+            if position is None:
+                raise KeyError(f"no benchmark named {name!r}")
+        return self.benchmarks[position]
 
     def benchmark_names(self) -> List[str]:
         """Names of all benchmarks in the comparison."""
@@ -93,12 +119,24 @@ class ComparisonResult:
         return arithmetic_mean(values)
 
     def mean_invocation_ratio(self, variant: str, reference: str = "runahead") -> float:
-        """Suite-average runahead invocation ratio (Section 5.1 statistic)."""
+        """Suite-average runahead invocation ratio (Section 5.1 statistic).
+
+        Raises
+        ------
+        ValueError
+            If every per-benchmark ratio is degenerate (0 or infinite), e.g.
+            because neither variant ever entered runahead mode.
+        """
         values = []
         for result in self.benchmarks:
             ratio = result.invocation_ratio(variant, reference)
             if ratio not in (0.0, float("inf")):
                 values.append(ratio)
+        if not values:
+            raise ValueError(
+                f"no usable invocation ratios for {variant!r} relative to "
+                f"{reference!r}: every per-benchmark ratio was 0 or infinite"
+            )
         return arithmetic_mean(values)
 
     # --------------------------------------------------------------- tables
@@ -142,24 +180,26 @@ def run_comparison(
     config: Optional[CoreConfig] = None,
     hierarchy_config: Optional[HierarchyConfig] = None,
     max_cycles: Optional[int] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ComparisonResult:
     """Simulate every trace on every variant and collect the results.
 
     The baseline variant ``"ooo"`` is always included (it is needed for
-    normalisation) even if absent from ``variants``.
+    normalisation) even if absent from ``variants``.  With ``workers > 1`` the
+    (trace, variant) grid runs across that many processes; with ``cache_dir``
+    set, finished cells are reused from (and written to) the on-disk result
+    cache.  Results are identical regardless of ``workers``.
     """
-    variant_list = list(variants)
-    if "ooo" not in variant_list:
-        variant_list.insert(0, "ooo")
-    simulator = Simulator(config=config, hierarchy_config=hierarchy_config)
-    benchmarks: List[BenchmarkResult] = []
-    for trace in traces:
-        results = {
-            variant: simulator.run(trace, variant=variant, max_cycles=max_cycles)
-            for variant in variant_list
-        }
-        benchmarks.append(BenchmarkResult(benchmark=trace.name, results=results))
-    return ComparisonResult(benchmarks=benchmarks, variants=variant_list)
+    from repro.simulation.engine import ExperimentEngine
+
+    engine = ExperimentEngine(
+        workers=workers,
+        cache_dir=cache_dir,
+        config=config,
+        hierarchy_config=hierarchy_config,
+    )
+    return engine.run_traces(traces, variants=variants, max_cycles=max_cycles)
 
 
 def run_performance_comparison(
@@ -167,6 +207,8 @@ def run_performance_comparison(
     config: Optional[CoreConfig] = None,
     hierarchy_config: Optional[HierarchyConfig] = None,
     max_cycles: Optional[int] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ComparisonResult:
     """Shorthand for :func:`run_comparison` over all five variants."""
     return run_comparison(
@@ -175,4 +217,6 @@ def run_performance_comparison(
         config=config,
         hierarchy_config=hierarchy_config,
         max_cycles=max_cycles,
+        workers=workers,
+        cache_dir=cache_dir,
     )

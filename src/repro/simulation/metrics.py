@@ -9,16 +9,32 @@ from repro.uarch.stats import CoreStats
 
 
 def arithmetic_mean(values: Sequence[float]) -> float:
-    """Plain average; 0 for an empty sequence."""
+    """Plain average.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty — an empty mean almost always means every
+        input was filtered out upstream, which callers should surface rather
+        than silently average to zero.
+    """
     values = list(values)
-    return sum(values) / len(values) if values else 0.0
+    if not values:
+        raise ValueError("arithmetic_mean() requires at least one value")
+    return sum(values) / len(values)
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean; 0 for an empty sequence.  All values must be positive."""
+    """Geometric mean.  All values must be positive.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or contains a non-positive value.
+    """
     values = list(values)
     if not values:
-        return 0.0
+        raise ValueError("geometric_mean() requires at least one value")
     if any(value <= 0 for value in values):
         raise ValueError("geometric mean requires positive values")
     return math.exp(sum(math.log(value) for value in values) / len(values))

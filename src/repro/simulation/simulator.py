@@ -17,6 +17,8 @@ from repro.core.runahead_buffer import RunaheadBufferController
 from repro.energy.cacti import SRAMModel
 from repro.energy.model import EnergyModel, EnergyReport
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.registry import VARIANT_REGISTRY
+from repro.serde import JSONSerializable
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import OoOCore
 from repro.uarch.stats import CoreStats
@@ -24,7 +26,7 @@ from repro.workloads.trace import Trace
 
 
 @dataclass
-class SimulationResult:
+class SimulationResult(JSONSerializable):
     """Everything measured from one (trace, variant) simulation."""
 
     variant: str
@@ -72,8 +74,7 @@ def _runahead_sram_models(core: OoOCore) -> Dict[str, SRAMModel]:
                 "emq", controller.emq.storage_bytes, read_ports=4, write_ports=4
             )
     if isinstance(controller, RunaheadBufferController):
-        chain_bytes = (controller._max_chain_length or 32) * 8
-        models["runahead_buffer"] = SRAMModel("runahead_buffer", max(chain_bytes, 64))
+        models["runahead_buffer"] = SRAMModel("runahead_buffer", controller.storage_bytes)
     return models
 
 
@@ -86,8 +87,11 @@ def run_variant(
     max_cycles: Optional[int] = None,
 ) -> SimulationResult:
     """Simulate ``trace`` on one runahead variant and return its results."""
-    if variant not in VARIANTS:
-        raise ValueError(f"unknown variant {variant!r}; expected one of {', '.join(VARIANTS)}")
+    if variant not in VARIANT_REGISTRY:
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of "
+            f"{', '.join(VARIANT_REGISTRY.names())}"
+        )
     config = config or CoreConfig()
     hierarchy = MemoryHierarchy(hierarchy_config)
     controller = build_controller(variant)

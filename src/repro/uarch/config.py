@@ -14,9 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
+from repro.serde import JSONSerializable
+
 
 @dataclass(frozen=True)
-class CoreConfig:
+class CoreConfig(JSONSerializable):
     """Microarchitectural parameters of the simulated core."""
 
     # Clock and pipeline shape ------------------------------------------------

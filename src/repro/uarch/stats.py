@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.serde import JSONSerializable
+
 
 @dataclass
-class EventCounts:
+class EventCounts(JSONSerializable):
     """Per-structure dynamic event counts used by the energy model."""
 
     fetched_uops: int = 0
@@ -78,7 +80,7 @@ class ResourceSnapshot:
 
 
 @dataclass
-class CoreStats:
+class CoreStats(JSONSerializable):
     """Aggregate statistics of one simulation run."""
 
     cycles: int = 0

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro.registry import WORKLOAD_REGISTRY, build_workload
 from repro.workloads.generators import (
     WorkloadSpec,
     linked_list_chase,
@@ -55,7 +56,22 @@ def _make_suite() -> Dict[str, SurrogateBenchmark]:
     suite: Dict[str, SurrogateBenchmark] = {}
 
     def add(spec_name: str, behaviour: str, spec: WorkloadSpec) -> None:
-        suite[spec_name] = SurrogateBenchmark(spec_name=spec_name, behaviour=behaviour, spec=spec)
+        bench = SurrogateBenchmark(spec_name=spec_name, behaviour=behaviour, spec=spec)
+        suite[spec_name] = bench
+        WORKLOAD_REGISTRY.register(
+            spec_name,
+            bench.build,
+            description=behaviour,
+            replace=True,
+            suite="spec2006",
+            # Identifies the generated trace content for the result cache: a
+            # parameter change invalidates cached cells even though the
+            # workload keeps its name.
+            cache_token={
+                "generator": spec.generator.__name__,
+                "params": dict(spec.params),
+            },
+        )
 
     add(
         "mcf",
@@ -212,7 +228,9 @@ def _make_suite() -> Dict[str, SurrogateBenchmark]:
     return suite
 
 
-#: The full surrogate suite, keyed by SPEC benchmark name.
+#: The full surrogate suite, keyed by SPEC benchmark name.  Each benchmark is
+#: also registered in :data:`repro.registry.WORKLOAD_REGISTRY` under the same
+#: name, which is how the experiment engine and the CLI reach it.
 SPEC_SURROGATES: Dict[str, SurrogateBenchmark] = _make_suite()
 
 
@@ -222,18 +240,19 @@ def surrogate_names() -> List[str]:
 
 
 def build_surrogate(name: str, num_uops: Optional[int] = None) -> Trace:
-    """Build the surrogate trace for the SPEC benchmark ``name``.
+    """Build the trace for the workload ``name`` (surrogate or registered).
+
+    Any workload in :data:`repro.registry.WORKLOAD_REGISTRY` is accepted, so
+    custom workloads registered with
+    :func:`repro.registry.register_workload` build through the same path as
+    the SPEC surrogates.
 
     Raises
     ------
     KeyError
-        If ``name`` is not one of :func:`surrogate_names`.
+        If ``name`` is not a registered workload.
     """
-    if name not in SPEC_SURROGATES:
-        raise KeyError(
-            f"unknown surrogate {name!r}; available: {', '.join(surrogate_names())}"
-        )
-    return SPEC_SURROGATES[name].build(num_uops=num_uops)
+    return build_workload(name, num_uops=num_uops)
 
 
 def surrogate_suite(

@@ -98,10 +98,15 @@ class TestEnergyModelOnRuns:
 class TestMetrics:
     def test_means(self):
         assert arithmetic_mean([1.0, 3.0]) == 2.0
-        assert arithmetic_mean([]) == 0.0
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
         with pytest.raises(ValueError):
             geometric_mean([1.0, -1.0])
+
+    def test_means_reject_empty_sequences(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([])
 
     def test_normalized_performance_and_speedup(self):
         baseline = CoreStats(cycles=1000, committed_uops=1000)

@@ -1,0 +1,142 @@
+"""Registry layer: registration, lookup, errors, and extension points."""
+
+import pytest
+
+from repro.core import VARIANT_LABELS, VARIANTS, build_controller
+from repro.core.base import RunaheadController
+from repro.registry import (
+    DuplicateRegistrationError,
+    Registry,
+    VARIANT_REGISTRY,
+    WORKLOAD_REGISTRY,
+    build_workload,
+    register_variant,
+    register_workload,
+    variant_names,
+    workload_names,
+)
+from repro.workloads.generators import compute_kernel
+from repro.workloads.spec_surrogates import SPEC_SURROGATES, build_surrogate
+
+
+class TestGenericRegistry:
+    def test_register_and_create(self):
+        registry = Registry("thing")
+
+        @registry.register("double", label="x2", description="doubles input")
+        def make(value):
+            return value * 2
+
+        assert "double" in registry
+        assert registry.names() == ["double"]
+        assert registry.create("double", 21) == 42
+        entry = registry.get("double")
+        assert entry.label == "x2"
+        assert entry.description == "doubles input"
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", lambda: 1)
+        with pytest.raises(DuplicateRegistrationError):
+            registry.register("a", lambda: 2)
+
+    def test_duplicate_registration_with_replace(self):
+        registry = Registry("thing")
+        registry.register("a", lambda: 1)
+        registry.register("a", lambda: 2, replace=True)
+        assert registry.create("a") == 2
+
+    def test_unknown_name_raises_keyerror_listing_names(self):
+        registry = Registry("gizmo")
+        registry.register("known", lambda: 1)
+        with pytest.raises(KeyError, match="unknown gizmo 'missing'.*known"):
+            registry.get("missing")
+
+    def test_registration_order_preserved(self):
+        registry = Registry("thing")
+        for name in ("c", "a", "b"):
+            registry.register(name, lambda: None)
+        assert registry.names() == ["c", "a", "b"]
+
+    def test_labels_view_is_live(self):
+        registry = Registry("thing")
+        labels = registry.labels_view()
+        registry.register("late", lambda: None, label="Late")
+        assert labels["late"] == "Late"
+        with pytest.raises(TypeError):
+            labels["late"] = "tampered"
+
+
+class TestVariantRegistry:
+    def test_builtin_variants_registered_in_figure_order(self):
+        assert variant_names()[:5] == [
+            "ooo",
+            "runahead",
+            "runahead_buffer",
+            "pre",
+            "pre_emq",
+        ]
+        assert tuple(variant_names()[:5]) == VARIANTS
+
+    def test_variant_labels_match_paper(self):
+        assert VARIANT_LABELS["ooo"] == "OoO"
+        assert VARIANT_LABELS["pre_emq"] == "PRE+EMQ"
+
+    def test_build_controller_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown variant 'warp-drive'"):
+            build_controller("warp-drive")
+
+    def test_custom_variant_buildable_by_name(self):
+        class NullController(RunaheadController):
+            name = "null"
+
+        @register_variant("test_null_variant", label="NULL", description="test only")
+        def _build_null():
+            return NullController()
+
+        try:
+            controller = build_controller("test_null_variant")
+            assert isinstance(controller, NullController)
+            assert VARIANT_LABELS["test_null_variant"] == "NULL"
+        finally:
+            VARIANT_REGISTRY.unregister("test_null_variant")
+        assert "test_null_variant" not in VARIANT_REGISTRY
+
+
+class TestWorkloadRegistry:
+    def test_surrogates_registered(self):
+        for name in SPEC_SURROGATES:
+            assert name in WORKLOAD_REGISTRY
+        assert set(SPEC_SURROGATES) <= set(workload_names())
+
+    def test_build_workload_matches_build_surrogate(self):
+        via_registry = build_workload("milc", num_uops=400)
+        via_surrogate = build_surrogate("milc", num_uops=400)
+        assert via_registry.name == via_surrogate.name == "milc"
+        assert len(via_registry) == len(via_surrogate)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_workload("not-a-benchmark")
+
+    def test_custom_workload_buildable_by_name(self):
+        @register_workload("test_tiny_kernel", description="test only")
+        def _build_tiny(num_uops=200):
+            trace = compute_kernel(num_uops=num_uops)
+            trace.name = "test_tiny_kernel"
+            return trace
+
+        try:
+            trace = build_workload("test_tiny_kernel", num_uops=100)
+            assert trace.name == "test_tiny_kernel"
+            assert len(trace) >= 100
+            # build_surrogate reaches registered workloads too
+            assert build_surrogate("test_tiny_kernel", num_uops=100).name == "test_tiny_kernel"
+        finally:
+            WORKLOAD_REGISTRY.unregister("test_tiny_kernel")
+
+    def test_surrogate_entries_carry_cache_token(self):
+        entry = WORKLOAD_REGISTRY.get("milc")
+        token = entry.metadata["cache_token"]
+        assert token["generator"] == "multi_slice_kernel"
+        assert token["params"]["num_slices"] == 8
