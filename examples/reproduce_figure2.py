@@ -41,6 +41,11 @@ def main() -> None:
         "--cache-dir", type=str, default=None,
         help="optional result-cache directory; re-runs skip finished cells",
     )
+    parser.add_argument(
+        "--probe", action="append", metavar="NAME",
+        help="attach an instrumentation probe to every cell (repeatable), "
+             "e.g. --probe stall_breakdown",
+    )
     args = parser.parse_args()
 
     if args.benchmarks.strip() == "all":
@@ -51,12 +56,18 @@ def main() -> None:
     print(f"simulating {len(names)} benchmarks x 5 core variants "
           f"({args.uops} micro-ops each, {args.workers} worker(s)) ...\n")
     engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
-    comparison = engine.run_workloads(names, num_uops=args.uops)
+    comparison = engine.run_workloads(names, num_uops=args.uops, probes=args.probe or [])
 
     print(format_performance_figure(comparison))
     print()
     print("Headline comparison (paper: RA +14.5%, RA-buffer +14.4%, PRE +35.5%, PRE+EMQ +28.6%):")
     print(summarize_comparison(comparison))
+
+    if args.probe:
+        print("\nProbe reports (first benchmark, PRE):")
+        reports = comparison.benchmarks[0].results["pre"].probe_reports
+        for name, report in reports.items():
+            print(f"  {name}: {report}")
 
 
 if __name__ == "__main__":

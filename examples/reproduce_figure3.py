@@ -29,13 +29,16 @@ def main() -> None:
                         help="worker processes for the sweep (default: 1, serial)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="optional result-cache directory")
+    parser.add_argument("--probe", action="append", metavar="NAME",
+                        help="attach an instrumentation probe (repeatable), "
+                             "e.g. --probe mem_profile")
     args = parser.parse_args()
 
     names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
     print(f"simulating {len(names)} benchmarks x 5 core variants "
           f"({args.workers} worker(s)) ...\n")
     engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
-    comparison = engine.run_workloads(names, num_uops=args.uops)
+    comparison = engine.run_workloads(names, num_uops=args.uops, probes=args.probe or [])
 
     print(format_energy_figure(comparison))
     print()
@@ -43,6 +46,11 @@ def main() -> None:
     result = comparison.benchmarks[0].results["pre"]
     for component, value in result.energy.breakdown.as_dict().items():
         print(f"  {component:28s} {value:14.1f} nJ")
+
+    if args.probe:
+        print("\nProbe reports (first benchmark, PRE):")
+        for name, report in result.probe_reports.items():
+            print(f"  {name}: {report}")
 
 
 if __name__ == "__main__":

@@ -33,9 +33,13 @@ from repro.core import (
 from repro.energy import EnergyModel, EnergyReport
 from repro.memory import HierarchyConfig, MemoryHierarchy
 from repro.registry import (
+    PROBE_REGISTRY,
     VARIANT_REGISTRY,
     WORKLOAD_REGISTRY,
     build_workload,
+    build_workload_source,
+    probe_names,
+    register_probe,
     register_variant,
     register_workload,
     variant_names,
@@ -44,19 +48,28 @@ from repro.registry import (
 from repro.simulation import (
     ComparisonResult,
     ExperimentEngine,
+    SimPointRunResult,
     SimulationResult,
     Simulator,
     SweepResult,
     SweepSpec,
     run_comparison,
     run_performance_comparison,
+    run_simpoints,
     run_variant,
 )
 from repro.uarch import CoreConfig, CoreStats, OoOCore
+from repro.uarch.probes import Probe
 from repro.workloads import (
+    FileTraceSource,
+    GeneratorSource,
+    MaterializedTrace,
     MicroOp,
     Trace,
+    TraceSource,
     UopClass,
+    WindowedSource,
+    as_source,
     build_surrogate,
     surrogate_names,
     surrogate_suite,
@@ -77,28 +90,41 @@ __all__ = [
     "EnergyReport",
     "HierarchyConfig",
     "MemoryHierarchy",
+    "PROBE_REGISTRY",
     "VARIANT_REGISTRY",
     "WORKLOAD_REGISTRY",
     "build_workload",
+    "build_workload_source",
+    "probe_names",
+    "register_probe",
     "register_variant",
     "register_workload",
     "variant_names",
     "workload_names",
     "ComparisonResult",
     "ExperimentEngine",
+    "SimPointRunResult",
     "SimulationResult",
     "Simulator",
     "SweepResult",
     "SweepSpec",
     "run_comparison",
     "run_performance_comparison",
+    "run_simpoints",
     "run_variant",
     "CoreConfig",
     "CoreStats",
     "OoOCore",
+    "Probe",
+    "FileTraceSource",
+    "GeneratorSource",
+    "MaterializedTrace",
     "MicroOp",
     "Trace",
+    "TraceSource",
     "UopClass",
+    "WindowedSource",
+    "as_source",
     "build_surrogate",
     "surrogate_names",
     "surrogate_suite",

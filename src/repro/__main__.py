@@ -1,13 +1,16 @@
 """``python -m repro`` — the reproduction's command-line interface.
 
-Three subcommands drive the experiment engine:
+Four subcommands drive the experiment engine:
 
-* ``python -m repro list`` — show every registered workload and core variant;
+* ``python -m repro list`` — show every registered workload, core variant and
+  instrumentation probe;
 * ``python -m repro sweep`` — run a benchmarks x variants sweep (optionally in
   parallel and against a result cache) and print the paper's Figure 2/3
   tables; ``--output`` saves the full result for later reporting;
 * ``python -m repro report`` — re-render figures/summary from a saved sweep
-  without re-simulating anything.
+  without re-simulating anything;
+* ``python -m repro trace record|info|replay`` — stream a workload into a
+  compressed trace file, inspect it, and replay it through the engine.
 
 Reproducing the paper end to end::
 
@@ -15,6 +18,12 @@ Reproducing the paper end to end::
         --workers 4 --cache-dir .repro-cache --output sweep.json
     python -m repro report sweep.json --figure 2
     python -m repro report sweep.json --figure 3
+
+Record/replay round trip::
+
+    python -m repro trace record --workload mcf --uops 5000 --output mcf.trc
+    python -m repro trace info mcf.trc --stats
+    python -m repro trace replay mcf.trc --variants pre,runahead
 """
 
 from __future__ import annotations
@@ -33,8 +42,20 @@ from repro.analysis.report import (
     summarize_comparison,
 )
 from repro.uarch.config import CoreConfig
-from repro.registry import VARIANT_REGISTRY, WORKLOAD_REGISTRY
+from repro.registry import (
+    PROBE_REGISTRY,
+    VARIANT_REGISTRY,
+    WORKLOAD_REGISTRY,
+    build_workload_source,
+)
 from repro.simulation.engine import ExperimentEngine, SweepResult, SweepSpec
+from repro.workloads.source import (
+    FileTraceSource,
+    read_trace_header,
+    streaming_trace_stats,
+    trace_file_digest,
+    write_trace_file,
+)
 
 
 def _parse_names(raw: str, available: Sequence[str], kind: str) -> List[str]:
@@ -94,6 +115,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("Workloads:")
     for entry in WORKLOAD_REGISTRY.entries():
         print(f"  {entry.name:18s} {entry.description}")
+    print()
+    print("Probes (attach with --probe):")
+    for entry in PROBE_REGISTRY.entries():
+        print(f"  {entry.name:18s} {entry.description}")
     return 0
 
 
@@ -106,6 +131,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         num_uops=args.uops,
         max_cycles=args.max_cycles,
         configs=[_parse_overrides(args.set or [])],
+        probes=list(args.probe or []),
     )
     engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
     print(
@@ -138,6 +164,66 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"configuration overrides: {cell.overrides}")
             print()
         _print_comparison(cell.comparison, args.figure)
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    source = build_workload_source(args.workload, num_uops=args.uops)
+    count = write_trace_file(args.output, source, name=args.name or args.workload)
+    digest = trace_file_digest(args.output)
+    size = os.path.getsize(args.output)
+    print(f"recorded {count} micro-ops of {args.workload!r} to {args.output}")
+    print(f"  file size : {size} bytes ({size / max(count, 1):.2f} B/uop compressed)")
+    print(f"  digest    : {digest}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    header = read_trace_header(args.trace)
+    print(f"trace file : {args.trace}")
+    print(f"  name     : {header['name']}")
+    print(f"  micro-ops: {header['count']}")
+    print(f"  format   : {header['format']} v{header['version']}")
+    print(f"  digest   : {trace_file_digest(args.trace)}")
+    if args.stats:
+        stats = streaming_trace_stats(FileTraceSource(args.trace))
+        print(f"  loads    : {stats.num_loads} ({stats.load_fraction:.1%})")
+        print(f"  stores   : {stats.num_stores}")
+        print(f"  branches : {stats.num_branches}")
+        print(f"  unique PCs: {stats.unique_pcs} ({stats.unique_load_pcs} load PCs)")
+        print(f"  footprint: {stats.footprint_bytes} bytes")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    variants = _parse_names(args.variants, VARIANT_REGISTRY.names(), "variants")
+    engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
+    sources = [FileTraceSource(path) for path in args.traces]
+    names = [source.name for source in sources]
+    print(
+        f"replaying {len(sources)} trace file(s) ({', '.join(names)}) x "
+        f"{len(variants)} variants ({args.workers} worker(s)"
+        + (f", cache: {args.cache_dir}" if args.cache_dir else "")
+        + ") ...",
+        file=sys.stderr,
+    )
+    comparison = engine.run_trace_files(
+        sources,
+        variants=variants,
+        max_cycles=args.max_cycles,
+        probes=list(args.probe or []),
+    )
+    stats = engine.last_run_stats
+    print(
+        f"done: {stats.total_jobs} cells, {stats.simulated} simulated, "
+        f"{stats.cache_hits} from cache\n",
+        file=sys.stderr,
+    )
+    _print_comparison(comparison, args.figure)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(comparison.to_dict(), handle)
+        print(f"\nfull comparison written to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -183,6 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="CoreConfig override (repeatable), e.g. --set rob_size=256",
     )
     sub_sweep.add_argument(
+        "--probe", action="append", metavar="NAME",
+        help="attach an instrumentation probe to every cell (repeatable); "
+             "see 'python -m repro list'",
+    )
+    sub_sweep.add_argument(
         "--output", default=None,
         help="write the full sweep result as JSON for 'python -m repro report'",
     )
@@ -201,6 +292,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="which figure/table to print (default: all)",
     )
     sub_report.set_defaults(func=_cmd_report)
+
+    sub_trace = sub.add_parser(
+        "trace", help="record, inspect and replay compressed trace files"
+    )
+    trace_sub = sub_trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_record = trace_sub.add_parser(
+        "record", help="stream a registered workload into a trace file"
+    )
+    trace_record.add_argument(
+        "--workload", required=True,
+        help="registered workload name (see 'python -m repro list')",
+    )
+    trace_record.add_argument(
+        "--uops", type=int, default=None,
+        help="micro-ops to record (default: the workload's own length)",
+    )
+    trace_record.add_argument(
+        "--output", required=True, help="destination trace file path"
+    )
+    trace_record.add_argument(
+        "--name", default=None,
+        help="benchmark name stored in the header (default: the workload name)",
+    )
+    trace_record.set_defaults(func=_cmd_trace_record)
+
+    trace_info = trace_sub.add_parser("info", help="print a trace file's header")
+    trace_info.add_argument("trace", help="trace file written by 'trace record'")
+    trace_info.add_argument(
+        "--stats", action="store_true",
+        help="additionally stream the file to compute composition statistics",
+    )
+    trace_info.set_defaults(func=_cmd_trace_info)
+
+    trace_replay = trace_sub.add_parser(
+        "replay", help="simulate recorded trace files through the engine"
+    )
+    trace_replay.add_argument(
+        "traces", nargs="+", help="trace files written by 'trace record'"
+    )
+    trace_replay.add_argument(
+        "--variants", default="all",
+        help="comma-separated variant names, or 'all' (the baseline is always added)",
+    )
+    trace_replay.add_argument(
+        "--max-cycles", type=int, default=None,
+        help="optional per-simulation cycle budget",
+    )
+    trace_replay.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; results are identical either way)",
+    )
+    trace_replay.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory, keyed by trace *content* digest",
+    )
+    trace_replay.add_argument(
+        "--probe", action="append", metavar="NAME",
+        help="attach an instrumentation probe to every cell (repeatable)",
+    )
+    trace_replay.add_argument(
+        "--output", default=None,
+        help="write the full comparison as JSON",
+    )
+    trace_replay.add_argument(
+        "--figure", choices=("2", "3", "summary", "all"), default="all",
+        help="which figure/table to print (default: all)",
+    )
+    trace_replay.set_defaults(func=_cmd_trace_replay)
     return parser
 
 

@@ -46,6 +46,12 @@ class RunaheadController:
     #: stalling load, which cannot commit until it returns.
     commit_in_runahead = True
 
+    #: Whether the controller needs random access over the *whole* trace (an
+    #: oracle of future dynamic instances, e.g. the runahead buffer's replay
+    #: index).  Streaming sources are materialised for such controllers; all
+    #: others run at O(window) memory on any :class:`TraceSource`.
+    requires_trace_oracle = False
+
     def __init__(self) -> None:
         self.core: Optional["OoOCore"] = None
 

@@ -126,7 +126,7 @@ class PreciseRunaheadController(RunaheadController):
             self.sst.insert(head.uop.pc)
             core.stats.events.sst_inserts += 1
 
-        core.mode = ExecutionMode.RUNAHEAD
+        self._interval = core.enter_runahead(cycle)
         self._stalling_load = head
         self._rat_checkpoint = core.rat.checkpoint()
         self._resume_seq = core.frontend.next_dispatch_seq()
@@ -134,9 +134,6 @@ class PreciseRunaheadController(RunaheadController):
         self._runahead_instrs = []
         if head.dest_preg is not None:
             core.poisoned_pregs.add((bool(head.dest_is_fp), head.dest_preg))
-        self._interval = RunaheadInterval(entry_cycle=cycle)
-        core.stats.intervals.append(self._interval)
-        core.stats.runahead_invocations += 1
 
     # ------------------------------------------------------------------- exit
 
@@ -173,7 +170,7 @@ class PreciseRunaheadController(RunaheadController):
                 regfile.free(preg)
         self._runahead_pregs.clear()
         core.poisoned_pregs.clear()
-        core.mode = ExecutionMode.NORMAL
+        core.exit_runahead(cycle)
 
         if self.use_emq and self.emq is not None:
             # Replay the micro-ops captured during runahead mode directly from
@@ -188,8 +185,6 @@ class PreciseRunaheadController(RunaheadController):
             # fetched and decoded again.
             core.frontend.redirect(self._resume_seq, cycle)
 
-        if self._interval is not None:
-            self._interval.exit_cycle = cycle
         self._stalling_load = None
         self._rat_checkpoint = None
         self._resume_seq = None

@@ -78,12 +78,9 @@ class TraditionalRunaheadController(RunaheadController):
             if self._throttled_stalls % self.THROTTLE_SAMPLE_PERIOD != 0:
                 core.stats.runahead_entries_skipped_short += 1
                 return
-        core.mode = ExecutionMode.RUNAHEAD
+        self._interval = core.enter_runahead(cycle)
         self._stalling_load = head
         self._restart_index = head.seq
-        self._interval = RunaheadInterval(entry_cycle=cycle)
-        core.stats.intervals.append(self._interval)
-        core.stats.runahead_invocations += 1
 
     # ------------------------------------------------------------------- exit
 
@@ -95,9 +92,8 @@ class TraditionalRunaheadController(RunaheadController):
             return
         restart = self._restart_index if self._restart_index is not None else instr.seq
         core.flush_pipeline(restart)
-        core.mode = ExecutionMode.NORMAL
+        core.exit_runahead(cycle)
         if self._interval is not None:
-            self._interval.exit_cycle = cycle
             if self._interval.prefetches_issued < 2:
                 self._useless_streak += 1
             else:

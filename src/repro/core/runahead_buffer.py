@@ -74,6 +74,10 @@ class RunaheadBufferController(RunaheadController):
     name = "runahead_buffer"
     pseudo_retire_in_runahead = False
     commit_in_runahead = False
+    #: The replay loop prefetches *future* dynamic instances of the stalling
+    #: load by indexing the whole trace; streaming sources are materialised
+    #: for this controller (see :class:`repro.uarch.core.OoOCore`).
+    requires_trace_oracle = True
 
     #: Consecutive useless (no-prefetch) intervals after which runahead entry
     #: is throttled ("useless period elimination", Mutlu et al. [6]).
@@ -161,15 +165,12 @@ class RunaheadBufferController(RunaheadController):
             self.buffer_stats.self_dependent_chains += 1
         core.stats.events.runahead_buffer_writes += chain.length
 
-        core.mode = ExecutionMode.RUNAHEAD
+        self._interval = core.enter_runahead(cycle)
         core.frontend.power_gated = True
         self._stalling_load = head
         self._restart_index = head.seq
         self._chain = chain
         self._next_replay_cycle = cycle + 1
-        self._interval = RunaheadInterval(entry_cycle=cycle)
-        core.stats.intervals.append(self._interval)
-        core.stats.runahead_invocations += 1
 
         # The replay loop prefetches dynamic instances of the stalling load
         # beyond the ones already inside the stalled window.
@@ -273,9 +274,8 @@ class RunaheadBufferController(RunaheadController):
         restart = self._restart_index if self._restart_index is not None else instr.seq
         core.frontend.power_gated = False
         core.flush_pipeline(restart)
-        core.mode = ExecutionMode.NORMAL
+        core.exit_runahead(cycle)
         if self._interval is not None:
-            self._interval.exit_cycle = cycle
             if self._interval.prefetches_issued < 2:
                 self._useless_streak += 1
             else:

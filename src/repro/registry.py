@@ -162,8 +162,17 @@ class Registry:
 VARIANT_REGISTRY = Registry("variant")
 
 #: Workloads: factories return a :class:`~repro.workloads.trace.Trace` and
-#: accept an optional ``num_uops`` keyword overriding the trace length.
+#: accept an optional ``num_uops`` keyword overriding the trace length.  An
+#: entry may additionally carry a ``source_factory`` metadata callable
+#: returning a :class:`~repro.workloads.source.TraceSource` for streaming
+#: construction (see :func:`build_workload_source`).
 WORKLOAD_REGISTRY = Registry("workload")
+
+#: Instrumentation probes: factories return a fresh
+#: :class:`~repro.uarch.probes.Probe` when called with no arguments.  Probes
+#: registered here are selectable by name from the experiment engine and the
+#: ``--probe`` CLI flag.
+PROBE_REGISTRY = Registry("probe")
 
 
 def register_variant(
@@ -194,6 +203,25 @@ def register_workload(
     )
 
 
+def register_probe(
+    name: str,
+    *,
+    label: Optional[str] = None,
+    description: str = "",
+    replace: bool = False,
+    **metadata: Any,
+):
+    """Decorator registering a probe factory as an instrumentation probe."""
+    return PROBE_REGISTRY.register(
+        name, label=label, description=description, replace=replace, **metadata
+    )
+
+
+def probe_names() -> List[str]:
+    """Registered probe names, in registration order."""
+    return PROBE_REGISTRY.names()
+
+
 def variant_names() -> List[str]:
     """Registered variant names, in figure order."""
     return VARIANT_REGISTRY.names()
@@ -214,3 +242,22 @@ def build_workload(name: str, num_uops: Optional[int] = None):
     if num_uops is None:
         return entry.create()
     return entry.create(num_uops=num_uops)
+
+
+def build_workload_source(name: str, num_uops: Optional[int] = None):
+    """Build a lazy :class:`~repro.workloads.source.TraceSource` for ``name``.
+
+    Uses the registry entry's ``source_factory`` metadata when present (the
+    streaming construction path, identical micro-op stream at O(window)
+    memory); otherwise materialises the trace and wraps it, so every
+    registered workload is reachable through this call.
+    """
+    entry = WORKLOAD_REGISTRY.get(name)
+    factory = entry.metadata.get("source_factory")
+    if factory is not None:
+        if num_uops is None:
+            return factory()
+        return factory(num_uops=num_uops)
+    from repro.workloads.source import MaterializedTrace  # avoid an import cycle
+
+    return MaterializedTrace(build_workload(name, num_uops=num_uops))

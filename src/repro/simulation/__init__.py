@@ -1,6 +1,13 @@
 """Simulation drivers: single runs, variant comparisons, sweeps, and metrics."""
 
-from repro.simulation.simulator import SimulationResult, Simulator, run_variant
+from repro.simulation.simulator import (
+    SimPointIntervalResult,
+    SimPointRunResult,
+    SimulationResult,
+    Simulator,
+    run_simpoints,
+    run_variant,
+)
 from repro.simulation.experiment import (
     BenchmarkResult,
     ComparisonResult,
@@ -25,8 +32,11 @@ from repro.simulation.metrics import (
 )
 
 __all__ = [
+    "SimPointIntervalResult",
+    "SimPointRunResult",
     "SimulationResult",
     "Simulator",
+    "run_simpoints",
     "run_variant",
     "BenchmarkResult",
     "ComparisonResult",

@@ -35,20 +35,21 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro.workloads  # noqa: F401  (imported for its workload registrations)
 from repro.memory.hierarchy import HierarchyConfig
-from repro.registry import VARIANT_REGISTRY, WORKLOAD_REGISTRY, build_workload
+from repro.registry import PROBE_REGISTRY, VARIANT_REGISTRY, WORKLOAD_REGISTRY, build_workload
 from repro.serde import JSONSerializable, canonical_json
 from repro.simulation.experiment import BenchmarkResult, ComparisonResult
 from repro.simulation.simulator import SimulationResult, run_variant
 from repro.uarch.config import CoreConfig
+from repro.workloads.source import FileTraceSource, trace_file_digest
 from repro.workloads.trace import Trace
 
 #: Bump when the simulator or result schema changes incompatibly; invalidates
 #: every cached result.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 # --------------------------------------------------------------------- sweeps
@@ -69,6 +70,17 @@ class SweepSpec(JSONSerializable):
     num_uops: Optional[int] = None
     max_cycles: Optional[int] = None
     configs: Sequence[Dict[str, Any]] = field(default_factory=lambda: [{}])
+    #: Instrumentation probes (registry names) attached to every cell; their
+    #: reports land in each result's ``probe_reports``.  A list (not a tuple)
+    #: so JSON round-trips compare equal.
+    probes: Sequence[str] = field(default_factory=list)
+
+    def resolved_probes(self) -> List[str]:
+        """The probe list, validated against the registry."""
+        probes = list(self.probes)
+        for name in probes:
+            PROBE_REGISTRY.get(name)  # raises KeyError on unknown names
+        return probes
 
     def resolved_variants(self) -> List[str]:
         """The variant list with the baseline prepended, validated early."""
@@ -154,6 +166,7 @@ def _job_payload(
     config: CoreConfig,
     hierarchy_config: Optional[HierarchyConfig],
     max_cycles: Optional[int],
+    probes: Sequence[str] = (),
 ) -> Dict[str, Any]:
     return {
         "benchmark": benchmark,
@@ -163,15 +176,26 @@ def _job_payload(
         "config": config.to_dict(),
         "hierarchy": hierarchy_config.to_dict() if hierarchy_config else None,
         "max_cycles": max_cycles,
+        "probes": list(probes),
     }
 
 
 def _job_cache_key(payload: Dict[str, Any]) -> str:
-    """Content hash identifying a job's full input."""
+    """Content hash identifying a job's full input.
+
+    Trace-backed jobs (pre-built or recorded files) key on a digest of the
+    trace *content*, never just its name, so edited or re-recorded traces can
+    never serve stale cached cells.
+    """
     source = payload["source"]
     if source["kind"] == "trace" and "digest" not in source:
         source = dict(source)
         source["digest"] = _trace_digest(payload["trace"])
+    if source["kind"] == "file":
+        # Drop the path: the same recorded trace must hit the cache from any
+        # location.  The benchmark name stays (it appears in the result) but
+        # normally comes from the file header, which the digest covers.
+        source = {"kind": "file", "digest": source["digest"], "name": source["name"]}
     descriptor = {
         "schema": CACHE_SCHEMA_VERSION,
         "variant": payload["variant"],
@@ -179,6 +203,7 @@ def _job_cache_key(payload: Dict[str, Any]) -> str:
         "config": payload["config"],
         "hierarchy": payload["hierarchy"],
         "max_cycles": payload["max_cycles"],
+        "probes": payload.get("probes", []),
     }
     return hashlib.sha256(canonical_json(descriptor).encode()).hexdigest()
 
@@ -217,6 +242,10 @@ def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     source = payload["source"]
     if source["kind"] == "workload":
         trace = build_workload(source["name"], num_uops=source.get("num_uops"))
+    elif source["kind"] == "file":
+        # Rebuilt locally so worker processes stream the file instead of
+        # unpickling megabytes of micro-ops.
+        trace = FileTraceSource(source["path"], name=source.get("name"))
     else:
         trace = payload["trace"]
     config = CoreConfig.from_dict(payload["config"])
@@ -229,6 +258,7 @@ def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
         config=config,
         hierarchy_config=hierarchy_config,
         max_cycles=payload["max_cycles"],
+        probes=payload.get("probes") or (),
     )
     return result.to_dict()
 
@@ -338,6 +368,7 @@ class ExperimentEngine:
         """Run a full sweep spec and return one comparison grid per config."""
         variants = spec.resolved_variants()
         workloads = spec.resolved_workloads()
+        probes = spec.resolved_probes()
         override_sets = [dict(overrides) for overrides in spec.configs] or [{}]
 
         payloads: List[Dict[str, Any]] = []
@@ -361,6 +392,7 @@ class ExperimentEngine:
                             config=config,
                             hierarchy_config=self.hierarchy_config,
                             max_cycles=spec.max_cycles,
+                            probes=probes,
                         )
                     )
 
@@ -389,49 +421,105 @@ class ExperimentEngine:
             )
         return SweepResult(spec=spec, cells=cells)
 
-    def run_traces(
-        self,
-        traces: Iterable[Trace],
-        variants: Sequence[str] = (),
-        max_cycles: Optional[int] = None,
-    ) -> ComparisonResult:
-        """Run pre-built traces on every variant (the ``run_comparison`` path)."""
-        trace_list = list(traces)
+    @staticmethod
+    def _with_baseline(variants: Sequence[str]) -> List[str]:
+        """The variant list with the normalisation baseline always present."""
         variant_list = list(variants) or VARIANT_REGISTRY.names()
         if "ooo" not in variant_list:
             variant_list.insert(0, "ooo")
+        return variant_list
 
+    def _run_benchmark_grid(
+        self,
+        jobs: Sequence[Tuple[str, Dict[str, Any], Optional[Trace]]],
+        variant_list: Sequence[str],
+        max_cycles: Optional[int],
+        probes: Sequence[str],
+    ) -> ComparisonResult:
+        """Run (benchmark, source, trace?) x variants and assemble the grid."""
+        for name in probes:
+            PROBE_REGISTRY.get(name)  # fail on typos before any worker spawns
         payloads: List[Dict[str, Any]] = []
-        for trace in trace_list:
-            source = {"kind": "trace", "name": trace.name}
-            if self.cache is not None:
-                # Hash the trace once here rather than once per variant job.
-                source["digest"] = _trace_digest(trace)
+        for benchmark, source, trace in jobs:
             for variant in variant_list:
                 payloads.append(
                     _job_payload(
-                        benchmark=trace.name,
+                        benchmark=benchmark,
                         variant=variant,
                         source=source,
                         trace=trace,
                         config=self.config,
                         hierarchy_config=self.hierarchy_config,
                         max_cycles=max_cycles,
+                        probes=probes,
                     )
                 )
-
         results = self._run_jobs(payloads)
         benchmarks = [
             BenchmarkResult(
-                benchmark=trace.name,
+                benchmark=benchmark,
                 results={
                     variant_list[j]: results[i * len(variant_list) + j]
                     for j in range(len(variant_list))
                 },
             )
-            for i, trace in enumerate(trace_list)
+            for i, (benchmark, _, _) in enumerate(jobs)
         ]
-        return ComparisonResult(benchmarks=benchmarks, variants=variant_list)
+        return ComparisonResult(benchmarks=benchmarks, variants=list(variant_list))
+
+    def run_traces(
+        self,
+        traces: Iterable[Trace],
+        variants: Sequence[str] = (),
+        max_cycles: Optional[int] = None,
+        probes: Sequence[str] = (),
+    ) -> ComparisonResult:
+        """Run pre-built traces on every variant (the ``run_comparison`` path)."""
+        jobs = []
+        for trace in traces:
+            source = {"kind": "trace", "name": trace.name}
+            if self.cache is not None:
+                # Hash the trace once here rather than once per variant job.
+                source["digest"] = _trace_digest(trace)
+            jobs.append((trace.name, source, trace))
+        return self._run_benchmark_grid(
+            jobs, self._with_baseline(variants), max_cycles, probes
+        )
+
+    def run_trace_files(
+        self,
+        paths: Sequence[Union[str, Path, FileTraceSource]],
+        variants: Sequence[str] = (),
+        max_cycles: Optional[int] = None,
+        probes: Sequence[str] = (),
+    ) -> ComparisonResult:
+        """Replay recorded trace files on every variant.
+
+        Accepts paths or ready-made :class:`FileTraceSource` objects (so
+        callers that already opened a file do not parse its header twice).
+        Cache keys incorporate a digest of each file's *content* (not its
+        path), so re-recording or editing a trace file always invalidates its
+        cached cells while moved/copied files still hit, and worker processes
+        stream the file locally instead of receiving pickled micro-ops.
+        """
+        jobs = []
+        for path in paths:
+            file_source = (
+                path if isinstance(path, FileTraceSource) else FileTraceSource(path)
+            )
+            source = {
+                "kind": "file",
+                "name": file_source.name,
+                "path": str(file_source.path),
+            }
+            if self.cache is not None:
+                # Only the cache key consumes the digest; skip hashing a
+                # potentially huge file when no cache is configured.
+                source["digest"] = trace_file_digest(file_source.path)
+            jobs.append((file_source.name, source, None))
+        return self._run_benchmark_grid(
+            jobs, self._with_baseline(variants), max_cycles, probes
+        )
 
     def run_workloads(
         self,
@@ -439,6 +527,7 @@ class ExperimentEngine:
         variants: Sequence[str] = (),
         num_uops: Optional[int] = None,
         max_cycles: Optional[int] = None,
+        probes: Sequence[str] = (),
     ) -> ComparisonResult:
         """Run registered workloads by name on every variant."""
         sweep = self.run_sweep(
@@ -447,6 +536,7 @@ class ExperimentEngine:
                 variants=list(variants),
                 num_uops=num_uops,
                 max_cycles=max_cycles,
+                probes=list(probes),
             )
         )
         return sweep.comparison

@@ -182,6 +182,7 @@ def run_comparison(
     max_cycles: Optional[int] = None,
     workers: int = 1,
     cache_dir: Optional[str] = None,
+    probes: Sequence[str] = (),
 ) -> ComparisonResult:
     """Simulate every trace on every variant and collect the results.
 
@@ -189,7 +190,9 @@ def run_comparison(
     normalisation) even if absent from ``variants``.  With ``workers > 1`` the
     (trace, variant) grid runs across that many processes; with ``cache_dir``
     set, finished cells are reused from (and written to) the on-disk result
-    cache.  Results are identical regardless of ``workers``.
+    cache.  Results are identical regardless of ``workers``.  ``probes``
+    (registry names) attach instrumentation to every cell; reports appear in
+    each result's ``probe_reports``.
     """
     from repro.simulation.engine import ExperimentEngine
 
@@ -199,7 +202,7 @@ def run_comparison(
         config=config,
         hierarchy_config=hierarchy_config,
     )
-    return engine.run_traces(traces, variants=variants, max_cycles=max_cycles)
+    return engine.run_traces(traces, variants=variants, max_cycles=max_cycles, probes=probes)
 
 
 def run_performance_comparison(

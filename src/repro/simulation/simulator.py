@@ -4,12 +4,25 @@
 memory hierarchy and core for one (trace, variant) pair, runs it to
 completion, evaluates the energy model, and returns everything an experiment
 needs in a :class:`SimulationResult`.
+
+Workloads are accepted either as an in-memory
+:class:`~repro.workloads.trace.Trace` (the original, backward-compatible
+path) or as any :class:`~repro.workloads.source.TraceSource` — streaming
+generator, recorded trace file, SimPoint window — which the core consumes
+lazily.  Instrumentation probes (registry names or
+:class:`~repro.uarch.probes.Probe` instances) can be attached per run; their
+findings land in :attr:`SimulationResult.probe_reports`.
+
+:func:`run_simpoints` is the SimPoint execution path the paper's methodology
+implies: cluster a workload's intervals, simulate only the representative
+windows, and report weighted whole-trace statistics.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core import VARIANT_LABELS, VARIANTS, build_controller
 from repro.core.pre import PreciseRunaheadController
@@ -21,8 +34,17 @@ from repro.registry import VARIANT_REGISTRY
 from repro.serde import JSONSerializable
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import OoOCore
+from repro.uarch.probes import Probe, build_probe, default_probes
 from repro.uarch.stats import CoreStats
+from repro.workloads.simpoint import SimPointSampler
+from repro.workloads.source import TraceSource, WindowedSource, as_source
 from repro.workloads.trace import Trace
+
+#: Accepted workload argument: an eager trace or any streaming source.
+TraceLike = Union[Trace, TraceSource]
+
+#: Accepted probe argument: registry names or ready-made instances.
+ProbeLike = Union[str, Probe]
 
 
 @dataclass
@@ -34,6 +56,8 @@ class SimulationResult(JSONSerializable):
     stats: CoreStats
     energy: EnergyReport
     config: CoreConfig
+    #: Findings of explicitly attached probes, keyed by probe name.
+    probe_reports: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -78,24 +102,38 @@ def _runahead_sram_models(core: OoOCore) -> Dict[str, SRAMModel]:
     return models
 
 
+def resolve_probes(probes: Optional[Sequence[ProbeLike]]) -> List[Probe]:
+    """Materialise a probe argument list (registry names become fresh instances)."""
+    return [build_probe(probe) for probe in (probes or ())]
+
+
 def run_variant(
-    trace: Trace,
+    trace: TraceLike,
     variant: str = "pre",
     config: Optional[CoreConfig] = None,
     hierarchy_config: Optional[HierarchyConfig] = None,
     energy_model: Optional[EnergyModel] = None,
     max_cycles: Optional[int] = None,
+    probes: Optional[Sequence[ProbeLike]] = None,
 ) -> SimulationResult:
-    """Simulate ``trace`` on one runahead variant and return its results."""
+    """Simulate a trace or source on one runahead variant and return its results."""
     if variant not in VARIANT_REGISTRY:
         raise ValueError(
             f"unknown variant {variant!r}; expected one of "
             f"{', '.join(VARIANT_REGISTRY.names())}"
         )
+    source = as_source(trace)
     config = config or CoreConfig()
     hierarchy = MemoryHierarchy(hierarchy_config)
     controller = build_controller(variant)
-    core = OoOCore(trace, config=config, hierarchy=hierarchy, controller=controller)
+    extra_probes = resolve_probes(probes)
+    core = OoOCore(
+        source,
+        config=config,
+        hierarchy=hierarchy,
+        controller=controller,
+        probes=default_probes() + extra_probes,
+    )
     stats = core.run(max_cycles=max_cycles)
     model = energy_model or EnergyModel()
     report = model.evaluate(
@@ -107,10 +145,12 @@ def run_variant(
     )
     return SimulationResult(
         variant=variant,
-        trace_name=trace.name,
+        trace_name=source.name,
         stats=stats,
         energy=report,
         config=config,
+        # Default probes report None, so this is exactly the extras' findings.
+        probe_reports=core.probes.reports(),
     )
 
 
@@ -128,9 +168,13 @@ class Simulator:
         self.energy_model = energy_model or EnergyModel()
 
     def run(
-        self, trace: Trace, variant: str = "pre", max_cycles: Optional[int] = None
+        self,
+        trace: TraceLike,
+        variant: str = "pre",
+        max_cycles: Optional[int] = None,
+        probes: Optional[Sequence[ProbeLike]] = None,
     ) -> SimulationResult:
-        """Simulate one trace on one variant."""
+        """Simulate one trace (or source) on one variant."""
         return run_variant(
             trace,
             variant=variant,
@@ -138,13 +182,164 @@ class Simulator:
             hierarchy_config=self.hierarchy_config,
             energy_model=self.energy_model,
             max_cycles=max_cycles,
+            probes=probes,
         )
 
     def run_all_variants(
-        self, trace: Trace, variants=VARIANTS, max_cycles: Optional[int] = None
+        self, trace: TraceLike, variants=VARIANTS, max_cycles: Optional[int] = None
     ) -> Dict[str, SimulationResult]:
-        """Simulate one trace on every requested variant."""
+        """Simulate one trace (or source) on every requested variant."""
         return {
             variant: self.run(trace, variant=variant, max_cycles=max_cycles)
             for variant in variants
         }
+
+
+# ---------------------------------------------------------- SimPoint execution
+
+
+@dataclass
+class SimPointIntervalResult(JSONSerializable):
+    """One representative interval's window run."""
+
+    start: int
+    end: int
+    weight: float
+    result: SimulationResult
+
+    @property
+    def length(self) -> int:
+        """Micro-ops in the interval."""
+        return self.end - self.start
+
+
+@dataclass
+class SimPointRunResult(JSONSerializable):
+    """A SimPoint-sampled simulation: window runs plus weighted whole-trace stats."""
+
+    variant: str
+    trace_name: str
+    total_uops: int
+    simulated_uops: int
+    intervals: List[SimPointIntervalResult]
+    weighted_stats: CoreStats
+
+    @property
+    def weighted_ipc(self) -> float:
+        """Whole-trace IPC estimated from the weighted interval runs."""
+        return self.weighted_stats.ipc
+
+    @property
+    def sampling_fraction(self) -> float:
+        """Fraction of the trace actually simulated."""
+        return self.simulated_uops / self.total_uops if self.total_uops else 0.0
+
+
+def _weighted_core_stats(
+    weighted: Sequence[Tuple[CoreStats, float]], total_uops: int
+) -> CoreStats:
+    """Scale per-interval stats to whole-trace estimates (SimPoint weighting).
+
+    Every integer counter is treated as a per-committed-uop rate, combined
+    across intervals by weight and scaled to ``total_uops``; the classic
+    ``CPI = sum(w_i * CPI_i)`` falls out of the ``cycles`` field.  List-valued
+    fields (intervals, snapshots) are per-window artifacts and stay empty.
+    Intervals that committed nothing (e.g. a ``max_cycles`` budget expired
+    mid-miss) carry no rate information, so the remaining weights are
+    renormalised rather than silently shrinking every estimate.
+    """
+    aggregate = CoreStats()
+    usable = [(stats, weight) for stats, weight in weighted if stats.committed_uops]
+    total_weight = sum(weight for _, weight in usable)
+    if not usable or not total_uops or not total_weight:
+        return aggregate
+    for stats_field in dataclasses.fields(CoreStats):
+        if stats_field.name == "events":
+            continue
+        if not isinstance(getattr(aggregate, stats_field.name), int):
+            continue
+        rate = sum(
+            weight * getattr(stats, stats_field.name) / stats.committed_uops
+            for stats, weight in usable
+        )
+        setattr(aggregate, stats_field.name, round(rate / total_weight * total_uops))
+    for event_field in dataclasses.fields(type(aggregate.events)):
+        rate = sum(
+            weight * getattr(stats.events, event_field.name) / stats.committed_uops
+            for stats, weight in usable
+        )
+        setattr(aggregate.events, event_field.name, round(rate / total_weight * total_uops))
+    aggregate.committed_uops = total_uops
+    return aggregate
+
+
+def run_simpoints(
+    trace: TraceLike,
+    variant: str = "pre",
+    config: Optional[CoreConfig] = None,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    energy_model: Optional[EnergyModel] = None,
+    max_cycles: Optional[int] = None,
+    probes: Optional[Sequence[ProbeLike]] = None,
+    interval_size: int = 2_000,
+    max_clusters: int = 4,
+    seed: int = 0,
+) -> SimPointRunResult:
+    """Simulate only a workload's representative SimPoint intervals.
+
+    The sampler clusters fixed-size intervals in one streaming pass (no
+    materialisation), each representative interval runs as a
+    :class:`~repro.workloads.source.WindowedSource`, and the per-interval
+    statistics are combined with the clusters' weights into whole-trace
+    estimates — strictly fewer micro-ops simulated than a full run, one
+    weighted answer out.
+
+    ``probes`` must be registry *names*: each interval gets fresh probe
+    instances, so per-interval ``probe_reports`` never accumulate state
+    across windows.  (A shared ``Probe`` instance would silently sum all
+    intervals into the later reports, so instances are rejected.)
+    """
+    for probe in probes or ():
+        if not isinstance(probe, str):
+            raise TypeError(
+                "run_simpoints accepts probe registry names only (got "
+                f"{type(probe).__name__}): a shared Probe instance would "
+                "accumulate state across interval runs"
+            )
+    source = as_source(trace)
+    sampler = SimPointSampler(
+        interval_size=interval_size, max_clusters=max_clusters, seed=seed
+    )
+    intervals, total_uops = sampler.select_source(source)
+    interval_results: List[SimPointIntervalResult] = []
+    for interval in intervals:
+        window = WindowedSource(source, interval.start, interval.end, name=source.name)
+        result = run_variant(
+            window,
+            variant=variant,
+            config=config,
+            hierarchy_config=hierarchy_config,
+            energy_model=energy_model,
+            max_cycles=max_cycles,
+            probes=probes,
+        )
+        interval_results.append(
+            SimPointIntervalResult(
+                start=interval.start,
+                end=interval.end,
+                weight=interval.weight,
+                result=result,
+            )
+        )
+    weighted_stats = _weighted_core_stats(
+        [(entry.result.stats, entry.weight) for entry in interval_results],
+        total_uops,
+    )
+    return SimPointRunResult(
+        variant=variant,
+        trace_name=source.name,
+        total_uops=total_uops,
+        simulated_uops=sum(entry.length for entry in interval_results),
+        intervals=interval_results,
+        weighted_stats=weighted_stats,
+    )

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.uarch.branch import GShareBranchPredictor
@@ -37,10 +37,12 @@ from repro.uarch.frontend import FetchedUop, FrontEnd
 from repro.uarch.isa import execution_latency
 from repro.uarch.issue_queue import IssueQueue
 from repro.uarch.lsq import LoadStoreQueues
+from repro.uarch.probes import Probe, ProbeSet, default_probes
 from repro.uarch.regfile import PhysicalRegisterFile
 from repro.uarch.rename import RegisterAliasTable, RetirementRAT
 from repro.uarch.rob import ReorderBuffer
-from repro.uarch.stats import CoreStats, ResourceSnapshot
+from repro.uarch.stats import CoreStats, RunaheadInterval
+from repro.workloads.source import MaterializedTrace, TraceSource, as_source
 from repro.workloads.trace import MicroOp, Trace, UopClass, is_fp_reg
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -102,22 +104,39 @@ class OoOCore:
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Union[Trace, TraceSource],
         config: Optional[CoreConfig] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
         controller: Optional["RunaheadController"] = None,
         name: Optional[str] = None,
+        probes: Optional[Iterable[Probe]] = None,
     ) -> None:
         self.config = config or CoreConfig()
-        self.trace = trace
+        source = as_source(trace)
+        if (
+            controller is not None
+            and controller.requires_trace_oracle
+            and not isinstance(source, MaterializedTrace)
+        ):
+            # The runahead-buffer controller indexes future dynamic load
+            # instances (its replay oracle), which a forward-only stream
+            # cannot serve; fall back to materialising the source.
+            source = source.materialized()
+        self.source = source
+        #: Whole-trace random-access view, available on materialised sources
+        #: only (controllers with ``requires_trace_oracle`` rely on it).
+        self.trace: Optional[Trace] = (
+            source.trace if isinstance(source, MaterializedTrace) else None
+        )
         self.hierarchy = hierarchy or MemoryHierarchy()
         self.name = name or ("ooo" if controller is None else controller.name)
         self.stats = CoreStats()
+        self.probes = ProbeSet(default_probes() if probes is None else probes)
 
         self.predictor = GShareBranchPredictor(
             self.config.branch_predictor_entries, self.config.branch_history_bits
         )
-        self.frontend = FrontEnd(trace, self.config, self.predictor, self.hierarchy, self.stats)
+        self.frontend = FrontEnd(source, self.config, self.predictor, self.hierarchy, self.stats)
         self.rat = RegisterAliasTable()
         self.retirement_rat = RetirementRAT()
         self.int_rf = PhysicalRegisterFile(self.config.int_registers, name="int")
@@ -136,10 +155,12 @@ class OoOCore:
         self._events: List[Tuple[int, int, DynInstr]] = []
         self._event_counter = 0
         self._current_stall_seq: Optional[int] = None
+        self._open_interval: Optional[RunaheadInterval] = None
 
         self.controller = controller
         if controller is not None:
             controller.attach(self)
+        self.probes.attach(self)
 
     # ------------------------------------------------------------------ utils
 
@@ -155,20 +176,32 @@ class OoOCore:
 
     @property
     def finished(self) -> bool:
-        """Whether every trace micro-op has committed."""
-        return self.committed_trace_uops >= len(self.trace)
+        """Whether every trace micro-op has committed.
+
+        For streaming sources the total is learned when the stream exhausts;
+        until then the run is by definition unfinished.
+        """
+        total = self.frontend.cursor.known_length
+        return total is not None and self.committed_trace_uops >= total
 
     # -------------------------------------------------------------------- run
 
     def run(self, max_cycles: Optional[int] = None) -> CoreStats:
         """Simulate until the whole trace commits (or ``max_cycles`` elapse)."""
+        cursor = self.frontend.cursor
+        probes_skipped = self.probes.cycles_skipped
         while not self.finished:
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
             progress = self.step()
+            cursor.trim(self.committed_trace_uops)
             if progress:
                 self.cycle += 1
                 continue
+            if self.finished:
+                # A streaming source's length is only learned when the fetch
+                # stage exhausts it, possibly inside this very step.
+                break
             wake = self._next_wake_cycle()
             if wake is None:
                 raise SimulationDeadlock(self._deadlock_report())
@@ -179,8 +212,14 @@ class OoOCore:
                 self.stats.full_window_stall_cycles += skipped - 1
             if self.mode == ExecutionMode.RUNAHEAD:
                 self.stats.runahead_cycles += skipped - 1
+            if probes_skipped and skipped > 1:
+                # The no-progress cycle itself already fired on_cycle inside
+                # step(); the span covers only the fast-forwarded remainder.
+                for probe in probes_skipped:
+                    probe.on_cycles_skipped(self, self.cycle + 1, self.cycle + skipped)
             self.cycle += skipped
         self.stats.cycles = self.cycle
+        self.probes.finish(self, self.stats)
         return self.stats
 
     def step(self) -> bool:
@@ -198,6 +237,9 @@ class OoOCore:
             self.stats.full_window_stall_cycles += 1
         if self.mode == ExecutionMode.RUNAHEAD:
             self.stats.runahead_cycles += 1
+        if self.probes.cycle:
+            for probe in self.probes.cycle:
+                probe.on_cycle(self, self.cycle)
         return progress > 0
 
     # -------------------------------------------------------------- writeback
@@ -258,10 +300,13 @@ class OoOCore:
                 if regfile.is_allocated(instr.prev_preg):
                     regfile.free(instr.prev_preg)
         if instr.uop.is_store:
-            self.hierarchy.access_data(
+            result = self.hierarchy.access_data(
                 instr.uop.mem_addr, self.cycle, is_write=True, pc=instr.uop.pc
             )
             self.stats.committed_stores += 1
+            if self.probes.mem_access:
+                for probe in self.probes.mem_access:
+                    probe.on_mem_access(self, instr, result, self.cycle)
         if instr.uop.is_load:
             self.stats.committed_loads += 1
         if instr.in_lsq:
@@ -270,6 +315,9 @@ class OoOCore:
         self.stats.committed_uops += 1
         self.stats.events.committed_uops += 1
         self.stats.events.rob_reads += 1
+        if self.probes.commit:
+            for probe in self.probes.commit:
+                probe.on_commit(self, instr, self.cycle)
 
     def _pseudo_retire_commit(self) -> int:
         """Runahead-mode commit for RA and RA-buffer: drain the window without
@@ -374,6 +422,9 @@ class OoOCore:
                 self.controller.on_runahead_prefetch(instr, result, self.cycle)
         elif result.level.value == "inflight":
             self.stats.loads_hit_under_prefetch += 1
+        if self.probes.mem_access:
+            for probe in self.probes.mem_access:
+                probe.on_mem_access(self, instr, result, self.cycle)
         return max(result.latency, 1)
 
     # --------------------------------------------------------------- dispatch
@@ -471,6 +522,11 @@ class OoOCore:
             and head.long_latency
         )
 
+    @property
+    def in_full_window_stall(self) -> bool:
+        """Whether the ROB is full behind an outstanding long-latency load."""
+        return self._in_full_window_stall()
+
     def _check_full_window_stall(self) -> None:
         head = self.rob.head()
         if not self._in_full_window_stall():
@@ -481,16 +537,45 @@ class OoOCore:
             return
         self._current_stall_seq = head.seq
         self.stats.full_window_stalls += 1
-        self.stats.stall_snapshots.append(
-            ResourceSnapshot(
-                cycle=self.cycle,
-                free_iq_fraction=self.iq.free_fraction,
-                free_int_reg_fraction=self.int_rf.free_fraction,
-                free_fp_reg_fraction=self.fp_rf.free_fraction,
-            )
-        )
+        if self.probes.full_window_stall:
+            for probe in self.probes.full_window_stall:
+                probe.on_full_window_stall(self, head, self.cycle)
         if self.controller is not None and self.mode == ExecutionMode.NORMAL:
             self.controller.on_full_window_stall(head, self.cycle)
+
+    # --------------------------------------------------- runahead transitions
+
+    @property
+    def current_runahead_interval(self) -> Optional[RunaheadInterval]:
+        """The open runahead interval, if the core is in runahead mode."""
+        return self._open_interval
+
+    def enter_runahead(self, cycle: int) -> RunaheadInterval:
+        """Switch to runahead mode; returns the interval record to annotate.
+
+        Centralises the bookkeeping every controller used to repeat (interval
+        creation, invocation counting) and notifies ``on_runahead_enter``
+        probes.
+        """
+        self.mode = ExecutionMode.RUNAHEAD
+        interval = RunaheadInterval(entry_cycle=cycle)
+        self._open_interval = interval
+        self.stats.intervals.append(interval)
+        self.stats.runahead_invocations += 1
+        if self.probes.runahead_enter:
+            for probe in self.probes.runahead_enter:
+                probe.on_runahead_enter(self, cycle)
+        return interval
+
+    def exit_runahead(self, cycle: int) -> None:
+        """Return to normal mode, close the open interval and notify probes."""
+        self.mode = ExecutionMode.NORMAL
+        if self._open_interval is not None:
+            self._open_interval.exit_cycle = cycle
+            self._open_interval = None
+        if self.probes.runahead_exit:
+            for probe in self.probes.runahead_exit:
+                probe.on_runahead_exit(self, cycle)
 
     # ------------------------------------------------------------------ flush
 
@@ -535,9 +620,11 @@ class OoOCore:
 
     def _deadlock_report(self) -> str:
         head = self.rob.head()
+        total = self.frontend.cursor.known_length
         return (
             f"simulation deadlock at cycle {self.cycle}: committed "
-            f"{self.committed_trace_uops}/{len(self.trace)} micro-ops, mode={self.mode}, "
+            f"{self.committed_trace_uops}/{total if total is not None else '?'} micro-ops, "
+            f"mode={self.mode}, "
             f"ROB={len(self.rob)}/{self.rob.capacity}, IQ={len(self.iq)}/{self.iq.capacity}, "
             f"uop queue={len(self.frontend.uop_queue)}, head={head!r}"
         )

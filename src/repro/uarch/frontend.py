@@ -1,9 +1,15 @@
 """Front-end: fetch, decode and the micro-op queue.
 
 The front-end is modelled as an 8-stage pipeline (Table 1) that fetches up to
-``fetch_width`` micro-ops per cycle from the dynamic trace, predicts branches,
-and delivers decoded micro-ops into the micro-op queue from which the rename
-stage dispatches.
+``fetch_width`` micro-ops per cycle from the dynamic micro-op stream, predicts
+branches, and delivers decoded micro-ops into the micro-op queue from which
+the rename stage dispatches.
+
+The stream is consumed through a :class:`~repro.workloads.source.TraceSource`
+cursor: sequential reads pull micro-ops on demand, and pipeline flushes rewind
+to any not-yet-committed index (the cursor retains exactly that window, so
+streaming workloads run at O(window) memory).  An in-memory
+:class:`~repro.workloads.trace.Trace` takes a zero-copy fast path.
 
 Because the simulator is trace-driven there is no wrong path: a mispredicted
 branch instead stalls fetch until the branch resolves, after which fetch
@@ -17,12 +23,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Union
 
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.uarch.branch import GShareBranchPredictor
 from repro.uarch.config import CoreConfig
 from repro.uarch.stats import CoreStats
+from repro.workloads.source import TraceSource, as_source
 from repro.workloads.trace import MicroOp, Trace
 
 
@@ -41,13 +48,14 @@ class FrontEnd:
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Union[Trace, TraceSource],
         config: CoreConfig,
         predictor: GShareBranchPredictor,
         hierarchy: Optional[MemoryHierarchy] = None,
         stats: Optional[CoreStats] = None,
     ) -> None:
-        self.trace = trace
+        self.source = as_source(trace)
+        self.cursor = self.source.cursor()
         self.config = config
         self.predictor = predictor
         self.hierarchy = hierarchy
@@ -65,7 +73,7 @@ class FrontEnd:
     @property
     def trace_exhausted(self) -> bool:
         """Whether every trace micro-op has been fetched."""
-        return self.fetch_index >= len(self.trace)
+        return not self.cursor.has(self.fetch_index)
 
     @property
     def is_drained(self) -> bool:
@@ -134,7 +142,7 @@ class FrontEnd:
             and len(self._pipe) + len(self.uop_queue) < pipe_capacity + self.config.uop_queue_size
             and len(self._pipe) < pipe_capacity
         ):
-            uop = self.trace[self.fetch_index]
+            uop = self.cursor.get(self.fetch_index)
             seq = self.fetch_index
             self.fetch_index += 1
             ready = cycle + self.config.frontend_depth

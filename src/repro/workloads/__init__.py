@@ -18,6 +18,18 @@ from repro.workloads.trace import (
     FP_REG_BASE,
     NUM_ARCH_REGS,
 )
+from repro.workloads.source import (
+    FileTraceSource,
+    GeneratorSource,
+    MaterializedTrace,
+    TraceSource,
+    WindowedSource,
+    as_source,
+    read_trace_header,
+    streaming_trace_stats,
+    trace_file_digest,
+    write_trace_file,
+)
 from repro.workloads.generators import (
     WorkloadSpec,
     compute_kernel,
@@ -34,7 +46,7 @@ from repro.workloads.spec_surrogates import (
     surrogate_names,
     surrogate_suite,
 )
-from repro.workloads.simpoint import SimPointSampler, sample_trace
+from repro.workloads.simpoint import SimPointInterval, SimPointSampler, sample_trace
 
 __all__ = [
     "ArchReg",
@@ -44,6 +56,16 @@ __all__ = [
     "UopClass",
     "FP_REG_BASE",
     "NUM_ARCH_REGS",
+    "FileTraceSource",
+    "GeneratorSource",
+    "MaterializedTrace",
+    "TraceSource",
+    "WindowedSource",
+    "as_source",
+    "read_trace_header",
+    "streaming_trace_stats",
+    "trace_file_digest",
+    "write_trace_file",
     "WorkloadSpec",
     "compute_kernel",
     "linked_list_chase",
@@ -56,6 +78,7 @@ __all__ = [
     "build_surrogate",
     "surrogate_names",
     "surrogate_suite",
+    "SimPointInterval",
     "SimPointSampler",
     "sample_trace",
 ]

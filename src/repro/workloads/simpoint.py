@@ -2,15 +2,26 @@
 
 The paper simulates 1B-instruction SimPoints [Sherwood et al., ASPLOS 2002]:
 representative intervals chosen by clustering basic-block vectors of the full
-execution.  This module provides a lightweight equivalent for synthetic
-traces: the trace is divided into fixed-size intervals, each interval is
-summarised by a feature vector (PC histogram), intervals are clustered with a
-simple k-means, and one representative interval per cluster is selected with a
-weight proportional to its cluster's size.
+execution.  This module provides a lightweight equivalent: the trace is
+divided into fixed-size intervals, each interval is summarised by a feature
+vector (PC histogram), intervals are clustered with a simple k-means, and one
+representative interval per cluster is selected with a weight proportional to
+its cluster's size.
 
-For the synthetic surrogates the traces are small enough to simulate whole,
-but the sampler is exercised by the test suite and available for users who
-plug in larger traces.
+Selection works on *streams*: :meth:`SimPointSampler.select_source` profiles
+any :class:`~repro.workloads.source.TraceSource` in a single pass without
+materialising it, so arbitrarily long workloads can be sampled at O(intervals
+x unique PCs) memory.  The selected intervals drive execution through
+:class:`~repro.workloads.source.WindowedSource` (see
+:func:`repro.simulation.simulator.run_simpoints`), with per-interval
+statistics combined by cluster weight into whole-trace estimates.
+
+Determinism
+-----------
+Clustering never touches the global :mod:`random` state: randomness comes
+from a private ``random.Random`` seeded with the sampler's ``seed`` (or an
+explicitly injected ``rng``), so results are reproducible regardless of what
+the calling program did to the global generator.
 """
 
 from __future__ import annotations
@@ -18,7 +29,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.workloads.trace import Trace
 
@@ -37,23 +48,35 @@ class SimPointInterval:
         return self.end - self.start
 
 
-def _interval_vector(trace: Trace, start: int, end: int, pcs: Dict[int, int]) -> List[float]:
-    """Build a normalised PC-frequency vector for ``trace[start:end]``."""
-    vector = [0.0] * len(pcs)
-    for index in range(start, end):
-        vector[pcs[trace[index].pc]] += 1.0
-    total = float(end - start) or 1.0
-    return [value / total for value in vector]
-
-
 def _distance(a: Sequence[float], b: Sequence[float]) -> float:
     return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
 
 
 class SimPointSampler:
-    """Select representative intervals of a trace via k-means on PC vectors."""
+    """Select representative intervals of a trace via k-means on PC vectors.
 
-    def __init__(self, interval_size: int = 2_000, max_clusters: int = 4, seed: int = 0) -> None:
+    Parameters
+    ----------
+    interval_size:
+        Micro-ops per clustering interval.
+    max_clusters:
+        Upper bound on k (capped by the number of intervals).
+    seed:
+        Seed for the private k-means initialisation RNG.
+    rng:
+        Optional pre-seeded ``random.Random`` used *instead of* ``seed``.
+        Injecting one lets callers share a reproducible random stream across
+        components; the global :mod:`random` module state is never consulted
+        either way.
+    """
+
+    def __init__(
+        self,
+        interval_size: int = 2_000,
+        max_clusters: int = 4,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         if interval_size <= 0:
             raise ValueError("interval_size must be positive")
         if max_clusters <= 0:
@@ -61,30 +84,74 @@ class SimPointSampler:
         self.interval_size = interval_size
         self.max_clusters = max_clusters
         self.seed = seed
+        self.rng = rng
+
+    def _clustering_rng(self) -> random.Random:
+        if self.rng is not None:
+            return self.rng
+        return random.Random(self.seed)
 
     def intervals(self, trace: Trace) -> List[Tuple[int, int]]:
         """Split the trace into contiguous, fixed-size intervals."""
+        return self._interval_bounds(len(trace))
+
+    def _interval_bounds(self, total: int) -> List[Tuple[int, int]]:
         bounds = []
-        for start in range(0, len(trace), self.interval_size):
-            end = min(start + self.interval_size, len(trace))
+        for start in range(0, total, self.interval_size):
+            end = min(start + self.interval_size, total)
             if end - start >= max(1, self.interval_size // 2):
                 bounds.append((start, end))
-        if not bounds and len(trace):
-            bounds.append((0, len(trace)))
+        if not bounds and total:
+            bounds.append((0, total))
         return bounds
+
+    def _profile_source(self, source) -> Tuple[List[Dict[int, int]], Dict[int, int], int]:
+        """One streaming pass: per-interval PC counts, global PC index, length."""
+        pcs: Dict[int, int] = {}
+        interval_counts: List[Dict[int, int]] = []
+        current: Dict[int, int] = {}
+        index = 0
+        for uop in source:
+            if index and index % self.interval_size == 0:
+                interval_counts.append(current)
+                current = {}
+            pcs.setdefault(uop.pc, len(pcs))
+            current[uop.pc] = current.get(uop.pc, 0) + 1
+            index += 1
+        if current:
+            interval_counts.append(current)
+        return interval_counts, pcs, index
 
     def select(self, trace: Trace) -> List[SimPointInterval]:
         """Return representative intervals with weights summing to 1."""
-        bounds = self.intervals(trace)
+        intervals, _ = self.select_source(trace)
+        return intervals
+
+    def select_source(
+        self, source: Union[Trace, "TraceSourceLike"]
+    ) -> Tuple[List[SimPointInterval], int]:
+        """Select representative intervals of any micro-op stream.
+
+        A single pass builds the per-interval PC histograms (peak memory is
+        intervals x unique PCs, independent of trace length), k-means picks
+        one representative per cluster, and the stream's total micro-op count
+        is returned alongside so callers can weight whole-trace statistics.
+        """
+        interval_counts, pcs, total = self._profile_source(source)
+        bounds = self._interval_bounds(total)
         if not bounds:
-            return []
-        pcs = {}
-        for uop in trace:
-            pcs.setdefault(uop.pc, len(pcs))
-        vectors = [_interval_vector(trace, start, end, pcs) for start, end in bounds]
+            return [], total
+        vectors = []
+        for start, end in bounds:
+            counts = interval_counts[start // self.interval_size]
+            span = float(end - start) or 1.0
+            vector = [0.0] * len(pcs)
+            for pc, count in counts.items():
+                vector[pcs[pc]] = count / span
+            vectors.append(vector)
 
         k = min(self.max_clusters, len(vectors))
-        rng = random.Random(self.seed)
+        rng = self._clustering_rng()
         centroids = [list(vectors[i]) for i in rng.sample(range(len(vectors)), k)]
         assignment = [0] * len(vectors)
         for _ in range(12):
@@ -104,7 +171,7 @@ class SimPointSampler:
                 break
 
         selected: List[SimPointInterval] = []
-        total = len(vectors)
+        count = len(vectors)
         for c in range(k):
             members = [i for i in range(len(vectors)) if assignment[i] == c]
             if not members:
@@ -114,9 +181,14 @@ class SimPointSampler:
             )
             start, end = bounds[representative]
             selected.append(
-                SimPointInterval(start=start, end=end, weight=len(members) / total)
+                SimPointInterval(start=start, end=end, weight=len(members) / count)
             )
-        return sorted(selected, key=lambda interval: interval.start)
+        return sorted(selected, key=lambda interval: interval.start), total
+
+
+#: Anything iterable over micro-ops (Trace or TraceSource); kept as a loose
+#: alias to avoid importing the source module here.
+TraceSourceLike = object
 
 
 def sample_trace(

@@ -1,0 +1,533 @@
+"""Streaming trace sources.
+
+The simulator used to consume an eagerly-materialised :class:`~repro.workloads.trace.Trace`
+(an in-memory list of micro-ops), which caps workload size at RAM.  This
+module defines the :class:`TraceSource` protocol the core consumes instead —
+lazy iteration with a known-or-unknown length and reopen support for
+multi-variant runs — plus four implementations:
+
+* :class:`MaterializedTrace` — wraps an in-memory :class:`Trace`; the
+  backward-compatible path with full random access (bit-identical behaviour
+  to passing the ``Trace`` directly);
+* :class:`GeneratorSource` — produces micro-ops on demand from a workload
+  generator function, so peak memory stays proportional to the core's
+  in-flight window rather than the trace length;
+* :class:`FileTraceSource` — replays a compressed record file written by
+  :func:`write_trace_file` (the ``python -m repro trace record|info|replay``
+  CLI surface);
+* :class:`WindowedSource` — restricts any source to one ``[start, end)``
+  interval, which is how SimPoint intervals finally drive execution (see
+  :func:`repro.simulation.simulator.run_simpoints`).
+
+The core never indexes a source directly; it reads through a *cursor*
+(:meth:`TraceSource.cursor`) that supports the bounded rewind pipeline
+flushes need (fetch restarts at the oldest uncommitted micro-op) while
+retaining only the micro-ops between the commit point and the fetch point.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+import os
+import struct
+import tempfile
+from collections import deque
+from pathlib import Path
+from typing import Callable, Deque, Dict, Iterable, Iterator, Optional, Union
+
+from repro.workloads.trace import (
+    MicroOp,
+    Trace,
+    TraceStats,
+    UopClass,
+    compute_trace_stats,
+)
+
+#: Stable on-disk ordering of :class:`UopClass` members (definition order).
+_CLASS_LIST = list(UopClass)
+_CLASS_INDEX = {uop_class: index for index, uop_class in enumerate(_CLASS_LIST)}
+
+
+# ------------------------------------------------------------------- protocol
+
+
+class TraceSource:
+    """A reopenable stream of micro-ops.
+
+    Subclasses implement :meth:`open` (a *fresh* iterator over the full
+    stream — calling it again restarts from the beginning, which is how one
+    source drives several variant runs) and may override :attr:`length` when
+    the micro-op count is known up front.  ``name`` identifies the workload in
+    experiment reports, exactly like :attr:`Trace.name`.
+    """
+
+    name: str = "anonymous"
+
+    def open(self) -> Iterator[MicroOp]:
+        """Return a fresh iterator over the full micro-op stream."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return self.open()
+
+    @property
+    def length(self) -> Optional[int]:
+        """Number of micro-ops in the stream, or ``None`` when unknown."""
+        return None
+
+    def cursor(self) -> "StreamingCursor":
+        """A windowed random-access reader over this source (one simulation's view)."""
+        return StreamingCursor(self)
+
+    def materialize(self) -> Trace:
+        """Fully read the stream into an in-memory :class:`Trace`."""
+        return Trace(self.open(), name=self.name)
+
+    def materialized(self) -> "MaterializedTrace":
+        """A random-access source backed by the fully-read stream."""
+        return MaterializedTrace(self.materialize())
+
+    def __repr__(self) -> str:
+        length = self.length
+        shown = length if length is not None else "?"
+        return f"{type(self).__name__}(name={self.name!r}, uops={shown})"
+
+
+def as_source(trace_or_source: Union[Trace, TraceSource]) -> TraceSource:
+    """Adapt a :class:`Trace` (or pass through a :class:`TraceSource`)."""
+    if isinstance(trace_or_source, TraceSource):
+        return trace_or_source
+    if isinstance(trace_or_source, Trace):
+        return MaterializedTrace(trace_or_source)
+    raise TypeError(
+        f"expected a Trace or TraceSource, got {type(trace_or_source).__name__}"
+    )
+
+
+# -------------------------------------------------------------------- cursors
+
+
+class StreamingCursor:
+    """Bounded-window random access over a streaming :class:`TraceSource`.
+
+    The simulator fetches mostly sequentially but must re-fetch after a
+    pipeline flush (runahead exit restarts at the stalling load).  The cursor
+    buffers every micro-op between a *trim floor* (the oldest index that can
+    still be re-fetched: the commit point, advanced via :meth:`trim`) and the
+    furthest index read so far, so rewinds inside that window are exact while
+    peak memory stays proportional to the in-flight window.
+    """
+
+    def __init__(self, source: TraceSource) -> None:
+        self.source = source
+        self._iter = source.open()
+        self._buffer: Deque[MicroOp] = deque()
+        self._base = 0
+        self._next = 0
+        self._total: Optional[int] = None
+        #: High-water mark of buffered micro-ops (exposed for memory tests).
+        self.peak_buffered = 0
+
+    @property
+    def known_length(self) -> Optional[int]:
+        """Total micro-op count, known once the underlying stream is exhausted."""
+        if self._total is not None:
+            return self._total
+        return self.source.length
+
+    def _fill_to(self, index: int) -> None:
+        while self._next <= index and self._total is None:
+            try:
+                uop = next(self._iter)
+            except StopIteration:
+                self._total = self._next
+                return
+            self._buffer.append(uop)
+            self._next += 1
+            if len(self._buffer) > self.peak_buffered:
+                self.peak_buffered = len(self._buffer)
+
+    def has(self, index: int) -> bool:
+        """Whether a micro-op exists at ``index`` (may read ahead to find out)."""
+        self._fill_to(index)
+        return index < self._next
+
+    def get(self, index: int) -> MicroOp:
+        """The micro-op at ``index``; raises if trimmed away or past the end."""
+        if index < self._base:
+            raise IndexError(
+                f"trace index {index} was trimmed (retained window starts at {self._base}); "
+                "the core only rewinds to uncommitted micro-ops"
+            )
+        self._fill_to(index)
+        if index >= self._next:
+            raise IndexError(f"trace index {index} is past the end of {self.source!r}")
+        return self._buffer[index - self._base]
+
+    def trim(self, floor: int) -> None:
+        """Drop retained micro-ops below ``floor`` (the commit point)."""
+        buffer = self._buffer
+        base = self._base
+        while base < floor and buffer:
+            buffer.popleft()
+            base += 1
+        self._base = base
+
+    def describe(self) -> str:
+        """Human-readable position summary for diagnostics."""
+        total = self.known_length
+        return f"{self._next}/{total if total is not None else '?'}"
+
+
+class MaterializedCursor(StreamingCursor):
+    """Zero-copy cursor over an in-memory trace (the fast compatibility path)."""
+
+    def __init__(self, source: "MaterializedTrace") -> None:
+        self.source = source
+        self._uops = source.trace._uops
+        self.peak_buffered = 0
+
+    @property
+    def known_length(self) -> Optional[int]:
+        return len(self._uops)
+
+    def has(self, index: int) -> bool:
+        return index < len(self._uops)
+
+    def get(self, index: int) -> MicroOp:
+        return self._uops[index]
+
+    def trim(self, floor: int) -> None:
+        pass
+
+    def describe(self) -> str:
+        return f"{len(self._uops)}/{len(self._uops)}"
+
+
+# -------------------------------------------------------------- implementations
+
+
+class MaterializedTrace(TraceSource):
+    """A :class:`TraceSource` backed by an in-memory :class:`Trace`.
+
+    This is the backward-compatibility wrapper: passing a ``Trace`` anywhere a
+    source is expected wraps it in one of these, and behaviour (including
+    random access for controllers that need a whole-trace oracle) is exactly
+    the pre-streaming behaviour.
+    """
+
+    def __init__(self, trace: Trace, name: Optional[str] = None) -> None:
+        self.trace = trace
+        self.name = name or trace.name
+
+    def open(self) -> Iterator[MicroOp]:
+        return iter(self.trace)
+
+    @property
+    def length(self) -> Optional[int]:
+        return len(self.trace)
+
+    def cursor(self) -> StreamingCursor:
+        return MaterializedCursor(self)
+
+    def materialize(self) -> Trace:
+        return self.trace
+
+    def materialized(self) -> "MaterializedTrace":
+        return self
+
+
+class GeneratorSource(TraceSource):
+    """A source that regenerates its stream from a generator function.
+
+    ``factory(**kwargs)`` must return a fresh iterator of micro-ops each call;
+    workload generators are deterministic (seeded), so every :meth:`open`
+    yields the identical stream.  Nothing is retained between micro-ops, so a
+    simulation's peak memory is the core's in-flight window, not the trace.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., Iterable[MicroOp]],
+        kwargs: Optional[Dict[str, object]] = None,
+        name: Optional[str] = None,
+        length: Optional[int] = None,
+    ) -> None:
+        self._factory = factory
+        self._kwargs = dict(kwargs or {})
+        self.name = name or getattr(factory, "__name__", "generated")
+        self._length = length
+
+    def open(self) -> Iterator[MicroOp]:
+        return iter(self._factory(**self._kwargs))
+
+    @property
+    def length(self) -> Optional[int]:
+        return self._length
+
+
+class WindowedSource(TraceSource):
+    """Restrict a source to the micro-ops in ``[start, end)``.
+
+    Used to execute one SimPoint interval: the prefix is generated and
+    discarded (no buffering), the window is yielded, and iteration stops at
+    ``end`` without producing the tail.
+    """
+
+    def __init__(
+        self,
+        base: TraceSource,
+        start: int,
+        end: int,
+        name: Optional[str] = None,
+    ) -> None:
+        if start < 0 or end < start:
+            raise ValueError(f"invalid window [{start}, {end})")
+        self.base = base
+        self.start = start
+        self.end = end
+        self.name = name or f"{base.name}[{start}:{end}]"
+
+    def open(self) -> Iterator[MicroOp]:
+        def _window() -> Iterator[MicroOp]:
+            iterator = self.base.open()
+            for _ in range(self.start):
+                try:
+                    next(iterator)
+                except StopIteration:
+                    return
+            remaining = self.end - self.start
+            for uop in iterator:
+                if remaining <= 0:
+                    break
+                yield uop
+                remaining -= 1
+
+        return _window()
+
+    @property
+    def length(self) -> Optional[int]:
+        base_length = self.base.length
+        if base_length is None:
+            return None
+        return max(0, min(self.end, base_length) - min(self.start, base_length))
+
+
+# ------------------------------------------------------------ trace-file format
+#
+# Layout: one uncompressed JSON header line, then a gzip stream of fixed-layout
+# records.  The header carries the exact record count, so readers know the
+# length without scanning and `trace info` is O(1).
+#
+# Record layout (little-endian):
+#   <Q pc> <B class> <B flags> <B dst|0xFF> <B nsrcs> <nsrcs x B src>
+#   [<Q mem_addr> <H mem_size>]   when flags & FLAG_MEM
+#   [<Q branch_target>]           when flags & FLAG_TARGET
+
+TRACE_FILE_FORMAT = "repro-trace"
+TRACE_FILE_VERSION = 1
+
+_FLAG_MEM = 0x01
+_FLAG_TAKEN = 0x02
+_FLAG_TARGET = 0x04
+_NO_DST = 0xFF
+
+_FIXED = struct.Struct("<QBBBB")
+_MEM = struct.Struct("<QH")
+_TARGET = struct.Struct("<Q")
+
+
+def _encode_uop(uop: MicroOp) -> bytes:
+    flags = 0
+    if uop.mem_addr is not None:
+        flags |= _FLAG_MEM
+    if uop.branch_taken:
+        flags |= _FLAG_TAKEN
+    if uop.branch_target is not None:
+        flags |= _FLAG_TARGET
+    dst = _NO_DST if uop.dst is None else uop.dst
+    parts = [
+        _FIXED.pack(uop.pc, _CLASS_INDEX[uop.uop_class], flags, dst, len(uop.srcs)),
+        bytes(uop.srcs),
+    ]
+    if flags & _FLAG_MEM:
+        parts.append(_MEM.pack(uop.mem_addr, uop.mem_size))
+    if flags & _FLAG_TARGET:
+        parts.append(_TARGET.pack(uop.branch_target))
+    return b"".join(parts)
+
+
+def _read_exact(stream: io.BufferedIOBase, size: int) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise TraceFileError(f"truncated trace file: wanted {size} bytes, got {len(data)}")
+    return data
+
+
+def _decode_uop(stream: io.BufferedIOBase) -> MicroOp:
+    pc, class_index, flags, dst, nsrcs = _FIXED.unpack(_read_exact(stream, _FIXED.size))
+    srcs = tuple(_read_exact(stream, nsrcs)) if nsrcs else ()
+    mem_addr = None
+    mem_size = 8
+    if flags & _FLAG_MEM:
+        mem_addr, mem_size = _MEM.unpack(_read_exact(stream, _MEM.size))
+    branch_target = None
+    if flags & _FLAG_TARGET:
+        (branch_target,) = _TARGET.unpack(_read_exact(stream, _TARGET.size))
+    try:
+        uop_class = _CLASS_LIST[class_index]
+    except IndexError:
+        raise TraceFileError(f"unknown micro-op class index {class_index}") from None
+    return MicroOp(
+        pc=pc,
+        uop_class=uop_class,
+        srcs=srcs,
+        dst=None if dst == _NO_DST else dst,
+        mem_addr=mem_addr,
+        mem_size=mem_size,
+        branch_taken=bool(flags & _FLAG_TAKEN),
+        branch_target=branch_target,
+    )
+
+
+class TraceFileError(ValueError):
+    """Raised when a trace file is malformed or truncated."""
+
+
+def write_trace_file(
+    path: Union[str, Path],
+    uops: Union[Trace, TraceSource, Iterable[MicroOp]],
+    name: Optional[str] = None,
+) -> int:
+    """Record ``uops`` into the compressed trace file at ``path``.
+
+    Streams record by record (O(1) memory for streaming sources) through a
+    temp file, then writes the final file with an exact-count header;
+    returns the number of micro-ops recorded.
+    """
+    path = Path(path)
+    if name is None:
+        name = getattr(uops, "name", None) or path.stem
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=".trace-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as tmp_handle:
+            with gzip.GzipFile(fileobj=tmp_handle, mode="wb", mtime=0) as compressed:
+                for uop in uops:
+                    compressed.write(_encode_uop(uop))
+                    count += 1
+        header = {
+            "format": TRACE_FILE_FORMAT,
+            "version": TRACE_FILE_VERSION,
+            "name": name,
+            "count": count,
+        }
+        with open(path, "wb") as out:
+            out.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+            with open(tmp_name, "rb") as tmp_handle:
+                while True:
+                    chunk = tmp_handle.read(1 << 20)
+                    if not chunk:
+                        break
+                    out.write(chunk)
+    finally:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+    return count
+
+
+def read_trace_header(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and validate a trace file's header line."""
+    with open(path, "rb") as handle:
+        line = handle.readline(1 << 16)
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise TraceFileError(f"{path}: not a repro trace file (bad header)") from None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FILE_FORMAT:
+        raise TraceFileError(f"{path}: not a repro trace file (bad header)")
+    if header.get("version") != TRACE_FILE_VERSION:
+        raise TraceFileError(
+            f"{path}: unsupported trace format version {header.get('version')!r}"
+        )
+    return header
+
+
+def trace_file_digest(path: Union[str, Path]) -> str:
+    """SHA-256 of the file's raw bytes — the content key the result cache uses."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+class FileTraceSource(TraceSource):
+    """Replay a trace recorded with :func:`write_trace_file`.
+
+    The header is read once at construction (name and exact length);
+    iteration decompresses records lazily, and each :meth:`open` reopens the
+    file so multi-variant runs replay the identical stream.
+    """
+
+    def __init__(self, path: Union[str, Path], name: Optional[str] = None) -> None:
+        self.path = Path(path)
+        header = read_trace_header(self.path)
+        self._count = int(header["count"])
+        self.name = name or str(header.get("name") or self.path.stem)
+
+    @property
+    def length(self) -> Optional[int]:
+        return self._count
+
+    def digest(self) -> str:
+        """Content hash of the backing file."""
+        return trace_file_digest(self.path)
+
+    def open(self) -> Iterator[MicroOp]:
+        def _records() -> Iterator[MicroOp]:
+            with open(self.path, "rb") as handle:
+                handle.readline(1 << 16)  # skip the header line
+                with gzip.GzipFile(fileobj=handle, mode="rb") as stream:
+                    for _ in range(self._count):
+                        yield _decode_uop(stream)
+
+        return _records()
+
+
+# ------------------------------------------------------------------ utilities
+
+
+def streaming_trace_stats(source: Union[Trace, TraceSource]) -> TraceStats:
+    """Compute :class:`TraceStats` in one pass without materialising the stream.
+
+    Same classification rules as :meth:`Trace.stats` — both delegate to
+    :func:`~repro.workloads.trace.compute_trace_stats`.
+    """
+    return compute_trace_stats(as_source(source))
+
+
+__all__ = [
+    "FileTraceSource",
+    "GeneratorSource",
+    "MaterializedCursor",
+    "MaterializedTrace",
+    "StreamingCursor",
+    "TraceFileError",
+    "TraceSource",
+    "WindowedSource",
+    "as_source",
+    "read_trace_header",
+    "streaming_trace_stats",
+    "trace_file_digest",
+    "write_trace_file",
+]

@@ -31,6 +31,7 @@ from repro.workloads.generators import (
     random_access_kernel,
     strided_stream,
 )
+from repro.workloads.source import TraceSource
 from repro.workloads.trace import Trace
 
 
@@ -51,6 +52,20 @@ class SurrogateBenchmark:
         trace.name = self.spec_name
         return trace
 
+    def build_source(self, num_uops: Optional[int] = None) -> TraceSource:
+        """A lazy :class:`TraceSource` for the surrogate (micro-ops on demand).
+
+        Yields the identical micro-op stream as :meth:`build` without
+        materialising it, so arbitrarily long surrogate traces can drive the
+        simulator at O(window) memory.
+        """
+        overrides = {}
+        if num_uops is not None:
+            overrides["num_uops"] = num_uops
+        source = self.spec.source(**overrides)
+        source.name = self.spec_name
+        return source
+
 
 def _make_suite() -> Dict[str, SurrogateBenchmark]:
     suite: Dict[str, SurrogateBenchmark] = {}
@@ -64,6 +79,8 @@ def _make_suite() -> Dict[str, SurrogateBenchmark]:
             description=behaviour,
             replace=True,
             suite="spec2006",
+            # Streaming construction path for the same micro-op sequence.
+            source_factory=bench.build_source,
             # Identifies the generated trace content for the result cache: a
             # parameter change invalidates cached cells even though the
             # workload keeps its name.

@@ -184,6 +184,39 @@ class TraceStats:
         return (self.num_loads + self.num_stores) / self.num_uops
 
 
+def compute_trace_stats(uops: Iterable[MicroOp]) -> TraceStats:
+    """Composition summary of any micro-op stream, in one pass.
+
+    Shared by :meth:`Trace.stats` and the streaming sources
+    (:func:`repro.workloads.source.streaming_trace_stats`), so both report
+    identical numbers from one classification rule set.
+    """
+    stats = TraceStats()
+    pcs = set()
+    load_pcs = set()
+    lines = set()
+    for uop in uops:
+        stats.num_uops += 1
+        pcs.add(uop.pc)
+        if uop.is_load:
+            stats.num_loads += 1
+            load_pcs.add(uop.pc)
+        elif uop.is_store:
+            stats.num_stores += 1
+        elif uop.is_branch:
+            stats.num_branches += 1
+        elif uop.uop_class.is_fp:
+            stats.num_fp_ops += 1
+        elif uop.uop_class is not UopClass.NOP:
+            stats.num_int_ops += 1
+        if uop.mem_addr is not None:
+            lines.add(uop.mem_addr // 64)
+    stats.unique_pcs = len(pcs)
+    stats.unique_load_pcs = len(load_pcs)
+    stats.footprint_bytes = len(lines) * 64
+    return stats
+
+
 class Trace:
     """A dynamic micro-op stream.
 
@@ -216,29 +249,7 @@ class Trace:
 
     def stats(self) -> TraceStats:
         """Compute a static composition summary of the trace."""
-        stats = TraceStats(num_uops=len(self._uops))
-        pcs = set()
-        load_pcs = set()
-        lines = set()
-        for uop in self._uops:
-            pcs.add(uop.pc)
-            if uop.is_load:
-                stats.num_loads += 1
-                load_pcs.add(uop.pc)
-            elif uop.is_store:
-                stats.num_stores += 1
-            elif uop.is_branch:
-                stats.num_branches += 1
-            elif uop.uop_class.is_fp:
-                stats.num_fp_ops += 1
-            elif uop.uop_class is not UopClass.NOP:
-                stats.num_int_ops += 1
-            if uop.mem_addr is not None:
-                lines.add(uop.mem_addr // 64)
-        stats.unique_pcs = len(pcs)
-        stats.unique_load_pcs = len(load_pcs)
-        stats.footprint_bytes = len(lines) * 64
-        return stats
+        return compute_trace_stats(self._uops)
 
     def concat(self, other: "Trace", name: Optional[str] = None) -> "Trace":
         """Return a new trace that is this trace followed by ``other``."""
@@ -264,6 +275,63 @@ class Trace:
             if uop.uop_class is uop_class and uop.pc not in seen:
                 seen[uop.pc] = None
         return list(seen)
+
+
+# ------------------------------------------------------- micro-op constructors
+#
+# Free functions shared by :class:`TraceBuilder` (eager trace construction) and
+# the streaming workload generators (see :mod:`repro.workloads.generators`),
+# so both paths build byte-for-byte identical micro-ops.
+
+
+def uop_ialu(pc: int, dst: ArchReg, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+    """Construct an integer ALU micro-op."""
+    return MicroOp(pc=pc, uop_class=UopClass.IALU, srcs=tuple(srcs), dst=dst)
+
+
+def uop_falu(pc: int, dst: ArchReg, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+    """Construct a floating-point ALU micro-op."""
+    return MicroOp(pc=pc, uop_class=UopClass.FALU, srcs=tuple(srcs), dst=dst)
+
+
+def uop_load(pc: int, dst: ArchReg, addr: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+    """Construct a load micro-op reading ``addr``."""
+    return MicroOp(pc=pc, uop_class=UopClass.LOAD, srcs=tuple(srcs), dst=dst, mem_addr=addr)
+
+
+def uop_store(pc: int, addr: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+    """Construct a store micro-op writing ``addr``."""
+    return MicroOp(pc=pc, uop_class=UopClass.STORE, srcs=tuple(srcs), mem_addr=addr)
+
+
+def uop_branch(pc: int, taken: bool, target: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
+    """Construct a conditional branch micro-op."""
+    return MicroOp(
+        pc=pc,
+        uop_class=UopClass.BRANCH,
+        srcs=tuple(srcs),
+        branch_taken=taken,
+        branch_target=target,
+    )
+
+
+class PCAllocator:
+    """Sequential static-program-counter allocator (4 bytes per instruction).
+
+    Factored out of :class:`TraceBuilder` so the streaming generators can lay
+    out static code identically to the eager builder.
+    """
+
+    __slots__ = ("_next_pc",)
+
+    def __init__(self, base_pc: int = 0x400000) -> None:
+        self._next_pc = base_pc
+
+    def new_pc(self) -> int:
+        """Allocate a fresh static program counter."""
+        pc = self._next_pc
+        self._next_pc += 4
+        return pc
 
 
 @dataclass
@@ -298,35 +366,23 @@ class TraceBuilder:
 
     def ialu(self, pc: int, dst: ArchReg, srcs: Sequence[ArchReg] = ()) -> MicroOp:
         """Emit an integer ALU micro-op."""
-        return self.emit(MicroOp(pc=pc, uop_class=UopClass.IALU, srcs=tuple(srcs), dst=dst))
+        return self.emit(uop_ialu(pc, dst, srcs))
 
     def falu(self, pc: int, dst: ArchReg, srcs: Sequence[ArchReg] = ()) -> MicroOp:
         """Emit a floating-point ALU micro-op."""
-        return self.emit(MicroOp(pc=pc, uop_class=UopClass.FALU, srcs=tuple(srcs), dst=dst))
+        return self.emit(uop_falu(pc, dst, srcs))
 
     def load(self, pc: int, dst: ArchReg, addr: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
         """Emit a load micro-op reading ``addr``."""
-        return self.emit(
-            MicroOp(pc=pc, uop_class=UopClass.LOAD, srcs=tuple(srcs), dst=dst, mem_addr=addr)
-        )
+        return self.emit(uop_load(pc, dst, addr, srcs))
 
     def store(self, pc: int, addr: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
         """Emit a store micro-op writing ``addr``."""
-        return self.emit(
-            MicroOp(pc=pc, uop_class=UopClass.STORE, srcs=tuple(srcs), mem_addr=addr)
-        )
+        return self.emit(uop_store(pc, addr, srcs))
 
     def branch(self, pc: int, taken: bool, target: int, srcs: Sequence[ArchReg] = ()) -> MicroOp:
         """Emit a conditional branch micro-op."""
-        return self.emit(
-            MicroOp(
-                pc=pc,
-                uop_class=UopClass.BRANCH,
-                srcs=tuple(srcs),
-                branch_taken=taken,
-                branch_target=target,
-            )
-        )
+        return self.emit(uop_branch(pc, taken, target, srcs))
 
     def build(self) -> Trace:
         """Finalize and return the built trace."""

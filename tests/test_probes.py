@@ -1,0 +1,206 @@
+"""Instrumentation probe API: hooks, built-ins, registry and engine plumbing."""
+
+import pytest
+
+from repro.registry import PROBE_REGISTRY
+from repro.simulation.engine import ExperimentEngine, SweepSpec, _job_cache_key, _job_payload
+from repro.simulation.simulator import SimulationResult, run_variant
+from repro.uarch.core import OoOCore
+from repro.uarch.config import CoreConfig
+from repro.uarch.probes import (
+    IPCTimelineProbe,
+    MemoryProfileProbe,
+    Probe,
+    ProbeSet,
+    build_probe,
+    default_probes,
+)
+from repro.core import build_controller
+from repro.workloads.generators import strided_stream
+
+
+class CountingProbe(Probe):
+    name = "counting"
+
+    def __init__(self):
+        self.attached = 0
+        self.cycles = 0
+        self.commits = 0
+        self.enters = 0
+        self.exits = 0
+        self.mem_accesses = 0
+        self.stalls = 0
+        self.finished = 0
+
+    def on_attach(self, core):
+        self.attached += 1
+
+    def on_cycle(self, core, cycle):
+        self.cycles += 1
+
+    def on_commit(self, core, instr, cycle):
+        self.commits += 1
+
+    def on_runahead_enter(self, core, cycle):
+        self.enters += 1
+
+    def on_runahead_exit(self, core, cycle):
+        self.exits += 1
+
+    def on_mem_access(self, core, instr, result, cycle):
+        self.mem_accesses += 1
+
+    def on_full_window_stall(self, core, instr, cycle):
+        self.stalls += 1
+
+    def on_finish(self, core, stats):
+        self.finished += 1
+
+    def report(self):
+        return {"commits": self.commits}
+
+
+class TestProbeHooks:
+    def test_counting_probe_sees_every_semantic_event(self):
+        trace = strided_stream(num_uops=2_000)
+        probe = CountingProbe()
+        core = OoOCore(
+            trace,
+            controller=build_controller("pre"),
+            probes=default_probes() + [probe],
+        )
+        stats = core.run()
+        assert probe.attached == 1
+        assert probe.finished == 1
+        assert probe.commits == stats.committed_uops
+        assert probe.cycles > 0
+        assert probe.mem_accesses > 0
+        assert probe.stalls == stats.full_window_stalls
+        assert probe.enters == stats.runahead_invocations
+        assert probe.exits == probe.enters
+
+    def test_probeset_indexes_only_overridden_hooks(self):
+        probe = CountingProbe()
+        passive = Probe()
+        probes = ProbeSet([probe, passive])
+        assert probe in probes.commit
+        assert passive not in probes.commit
+        assert len(probes) == 2
+
+    def test_stall_snapshots_relocated_to_default_probe(self):
+        trace = strided_stream(num_uops=2_000)
+        with_default = OoOCore(trace)
+        stats_default = with_default.run()
+        assert stats_default.stall_snapshots, "default probes collect snapshots"
+        bare = OoOCore(strided_stream(num_uops=2_000), probes=[])
+        stats_bare = bare.run()
+        # A bare core skips the optional instrumentation but times identically.
+        assert not stats_bare.stall_snapshots
+        assert stats_bare.cycles == stats_default.cycles
+        assert stats_bare.full_window_stalls == stats_default.full_window_stalls
+
+
+class TestBuiltinProbes:
+    def run_with(self, probe_names, variant="pre"):
+        return run_variant(
+            strided_stream(num_uops=2_000), variant=variant, probes=probe_names
+        )
+
+    def test_registry_lists_builtins(self):
+        names = PROBE_REGISTRY.names()
+        for expected in ("ipc_timeline", "stall_breakdown", "runahead_log", "mem_profile"):
+            assert expected in names
+
+    def test_build_probe_accepts_names_and_instances(self):
+        assert isinstance(build_probe("ipc_timeline"), IPCTimelineProbe)
+        instance = MemoryProfileProbe()
+        assert build_probe(instance) is instance
+        with pytest.raises(KeyError):
+            build_probe("no_such_probe")
+
+    def test_ipc_timeline_reports_monotonic_samples(self):
+        result = self.run_with(["ipc_timeline"])
+        report = result.probe_reports["ipc_timeline"]
+        samples = report["samples"]
+        assert samples, "timeline must contain samples"
+        cycles = [cycle for cycle, _ in samples]
+        committed = [count for _, count in samples]
+        assert cycles == sorted(cycles)
+        assert committed == sorted(committed)
+        assert samples[-1][0] == result.stats.cycles
+        assert samples[-1][1] == result.stats.committed_uops
+
+    def test_stall_breakdown_accounts_every_cycle(self):
+        result = self.run_with(["stall_breakdown"])
+        report = result.probe_reports["stall_breakdown"]
+        assert sum(report["cycles"].values()) == result.stats.cycles
+        assert abs(sum(report["fractions"].values()) - 1.0) < 1e-9
+        assert report["cycles"]["runahead"] == result.stats.runahead_cycles
+
+    def test_runahead_log_matches_interval_stats(self):
+        result = self.run_with(["runahead_log"])
+        log = result.probe_reports["runahead_log"]
+        assert len(log) == result.stats.runahead_invocations
+        closed = [entry for entry in log if entry["exit"] >= 0]
+        for entry in closed:
+            assert entry["length"] == entry["exit"] - entry["entry"]
+            assert entry["prefetches"] >= 0
+        assert sum(e["prefetches"] for e in closed) <= result.stats.runahead_prefetches
+
+    def test_mem_profile_counts_match_stats(self):
+        result = self.run_with(["mem_profile"], variant="ooo")
+        report = result.probe_reports["mem_profile"]
+        assert report["total"] == sum(report["levels"].values())
+        assert report["long_latency"] == result.stats.long_latency_loads
+        assert report["total"] > 0
+
+    def test_no_probes_means_empty_reports(self):
+        result = run_variant(strided_stream(num_uops=800), variant="ooo")
+        assert result.probe_reports == {}
+
+
+class TestProbeSerde:
+    def test_probe_reports_survive_json_round_trip(self):
+        result = run_variant(
+            strided_stream(num_uops=1_000),
+            variant="pre",
+            probes=["ipc_timeline", "mem_profile"],
+        )
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored.probe_reports == result.probe_reports
+        assert restored.to_dict() == result.to_dict()
+
+
+class TestEngineProbePlumbing:
+    def test_sweep_attaches_probes_to_every_cell(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path / "cache")
+        spec = SweepSpec(
+            workloads=["milc"],
+            variants=["pre"],
+            num_uops=600,
+            probes=["stall_breakdown"],
+        )
+        sweep = engine.run_sweep(spec)
+        for bench in sweep.comparison.benchmarks:
+            for result in bench.results.values():
+                assert "stall_breakdown" in result.probe_reports
+        # Cached re-run serves identical cells, probe reports included.
+        again = ExperimentEngine(cache_dir=tmp_path / "cache").run_sweep(spec)
+        assert again.to_dict() == sweep.to_dict()
+
+    def test_unknown_probe_rejected_before_running(self):
+        engine = ExperimentEngine()
+        with pytest.raises(KeyError):
+            engine.run_sweep(
+                SweepSpec(workloads=["milc"], variants=["pre"], num_uops=400,
+                          probes=["bogus"])
+            )
+
+    def test_cache_key_distinguishes_probe_sets(self):
+        config = CoreConfig()
+        source = {"kind": "workload", "name": "milc", "num_uops": 500, "token": "t"}
+        without = _job_payload("milc", "pre", source, None, config, None, None)
+        with_probe = _job_payload(
+            "milc", "pre", source, None, config, None, None, probes=["ipc_timeline"]
+        )
+        assert _job_cache_key(without) != _job_cache_key(with_probe)

@@ -1,0 +1,265 @@
+"""Streaming TraceSource protocol: sources, cursors, file format, equivalence."""
+
+import pytest
+
+from repro.registry import WORKLOAD_REGISTRY, build_workload, build_workload_source
+from repro.simulation.simulator import run_variant
+from repro.uarch.core import OoOCore
+from repro.workloads.generators import multi_slice_kernel, strided_stream
+from repro.workloads.source import (
+    FileTraceSource,
+    GeneratorSource,
+    MaterializedCursor,
+    MaterializedTrace,
+    StreamingCursor,
+    TraceFileError,
+    WindowedSource,
+    as_source,
+    read_trace_header,
+    streaming_trace_stats,
+    trace_file_digest,
+    write_trace_file,
+)
+from repro.workloads.trace import MicroOp, Trace, UopClass
+
+
+def small_trace():
+    return strided_stream(num_uops=400)
+
+
+class TestProtocol:
+    def test_as_source_wraps_traces(self):
+        trace = small_trace()
+        source = as_source(trace)
+        assert isinstance(source, MaterializedTrace)
+        assert source.name == trace.name
+        assert source.length == len(trace)
+        assert list(source) == list(trace)
+
+    def test_as_source_passes_sources_through(self):
+        source = MaterializedTrace(small_trace())
+        assert as_source(source) is source
+
+    def test_as_source_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_source([1, 2, 3])
+
+    def test_open_restarts_from_the_beginning(self):
+        source = GeneratorSource(strided_stream.stream, {"num_uops": 120})
+        first = list(source.open())
+        second = list(source.open())
+        assert first == second
+        assert len(first) >= 120
+
+    def test_materialize_round_trip(self):
+        source = GeneratorSource(strided_stream.stream, {"num_uops": 120}, name="s")
+        trace = source.materialize()
+        assert isinstance(trace, Trace)
+        assert trace.name == "s"
+        assert list(trace) == list(source)
+
+
+class TestGeneratorSource:
+    def test_stream_matches_eager_trace_for_every_registered_workload(self):
+        for name in WORKLOAD_REGISTRY.names():
+            trace = build_workload(name, num_uops=600)
+            source = build_workload_source(name, num_uops=600)
+            assert source.name == trace.name == name
+            assert list(source) == list(trace), f"stream != eager for {name}"
+
+    def test_empty_stream_finishes_cleanly(self):
+        # Regression: an unknown-length source whose exhaustion is discovered
+        # mid-step must finish, not raise SimulationDeadlock.
+        empty = GeneratorSource(lambda: iter(()), {}, name="empty")
+        result = run_variant(empty, variant="ooo")
+        assert result.stats.committed_uops == 0
+        eager = run_variant(Trace([], name="empty"), variant="ooo")
+        assert result.stats.cycles == eager.stats.cycles
+
+    def test_unknown_length_until_exhausted(self):
+        source = GeneratorSource(strided_stream.stream, {"num_uops": 100})
+        assert source.length is None
+        cursor = source.cursor()
+        assert cursor.known_length is None
+        index = 0
+        while cursor.has(index):
+            index += 1
+        assert cursor.known_length == index
+
+
+class TestCursors:
+    def test_materialized_cursor_is_randomly_accessible(self):
+        trace = small_trace()
+        cursor = MaterializedTrace(trace).cursor()
+        assert isinstance(cursor, MaterializedCursor)
+        assert cursor.known_length == len(trace)
+        assert cursor.get(0) == trace[0]
+        assert cursor.get(len(trace) - 1) == trace[len(trace) - 1]
+        assert not cursor.has(len(trace))
+        cursor.trim(100)  # no-op
+        assert cursor.get(0) == trace[0]
+
+    def test_streaming_cursor_rewinds_within_retained_window(self):
+        trace = small_trace()
+        source = GeneratorSource(strided_stream.stream, {"num_uops": 400})
+        cursor = StreamingCursor(source)
+        for index in range(50):
+            assert cursor.get(index) == trace[index]
+        # Rewind to any untrimmed index is exact.
+        assert cursor.get(3) == trace[3]
+        cursor.trim(40)
+        assert cursor.get(40) == trace[40]
+        with pytest.raises(IndexError):
+            cursor.get(39)
+
+    def test_streaming_cursor_past_end(self):
+        source = GeneratorSource(strided_stream.stream, {"num_uops": 50})
+        cursor = StreamingCursor(source)
+        index = 0
+        while cursor.has(index):
+            index += 1
+        with pytest.raises(IndexError):
+            cursor.get(index)
+
+
+class TestWindowedSource:
+    def test_window_equals_trace_slice(self):
+        trace = small_trace()
+        base = MaterializedTrace(trace)
+        window = WindowedSource(base, 100, 250)
+        assert list(window) == list(trace)[100:250]
+        assert window.length == 150
+        assert "[100:250]" in window.name
+
+    def test_window_clamps_to_stream_end(self):
+        base = MaterializedTrace(small_trace())
+        total = base.length
+        window = WindowedSource(base, total - 10, total + 50)
+        assert len(list(window)) == 10
+        assert window.length == 10
+
+    def test_invalid_window_rejected(self):
+        base = MaterializedTrace(small_trace())
+        with pytest.raises(ValueError):
+            WindowedSource(base, 50, 10)
+
+    def test_window_on_streaming_source(self):
+        trace = small_trace()
+        source = GeneratorSource(strided_stream.stream, {"num_uops": 400})
+        window = WindowedSource(source, 30, 60)
+        assert list(window) == list(trace)[30:60]
+
+
+class TestTraceFile:
+    def all_shapes_trace(self):
+        return Trace(
+            [
+                MicroOp(pc=0x1000, uop_class=UopClass.IALU, srcs=(1, 2), dst=3),
+                MicroOp(pc=0x1004, uop_class=UopClass.IMUL, srcs=(3,), dst=4),
+                MicroOp(pc=0x1008, uop_class=UopClass.IDIV, srcs=(4, 4), dst=5),
+                MicroOp(pc=0x100C, uop_class=UopClass.FALU, srcs=(32, 33), dst=34),
+                MicroOp(pc=0x1010, uop_class=UopClass.FMUL, srcs=(34,), dst=35),
+                MicroOp(pc=0x1014, uop_class=UopClass.FDIV, srcs=(35,), dst=36),
+                MicroOp(pc=0x1018, uop_class=UopClass.LOAD, srcs=(1,), dst=2,
+                        mem_addr=0xDEAD_BEEF_0, mem_size=16),
+                MicroOp(pc=0x101C, uop_class=UopClass.STORE, srcs=(2, 34),
+                        mem_addr=0x2000, mem_size=4),
+                MicroOp(pc=0x1020, uop_class=UopClass.BRANCH, srcs=(5,),
+                        branch_taken=True, branch_target=0x1000),
+                MicroOp(pc=0x1024, uop_class=UopClass.BRANCH, srcs=(),
+                        branch_taken=False, branch_target=None),
+                MicroOp(pc=0x1028, uop_class=UopClass.NOP),
+            ],
+            name="shapes",
+        )
+
+    def test_round_trip_every_uop_shape(self, tmp_path):
+        trace = self.all_shapes_trace()
+        path = tmp_path / "shapes.trc"
+        count = write_trace_file(path, trace)
+        assert count == len(trace)
+        source = FileTraceSource(path)
+        assert source.name == "shapes"
+        assert source.length == len(trace)
+        assert list(source) == list(trace)
+        # Reopen replays the identical stream.
+        assert list(source) == list(trace)
+
+    def test_header_and_digest(self, tmp_path):
+        path = tmp_path / "t.trc"
+        write_trace_file(path, small_trace(), name="custom")
+        header = read_trace_header(path)
+        assert header["name"] == "custom"
+        assert header["count"] == len(small_trace())
+        digest_one = trace_file_digest(path)
+        write_trace_file(path, strided_stream(num_uops=500), name="custom")
+        assert trace_file_digest(path) != digest_one
+
+    def test_rejects_garbage_files(self, tmp_path):
+        path = tmp_path / "garbage.trc"
+        path.write_bytes(b"\x00\x01\x02 not a trace\n more binary")
+        with pytest.raises(TraceFileError):
+            read_trace_header(path)
+        json_path = tmp_path / "json.trc"
+        json_path.write_text('{"format": "other"}\n')
+        with pytest.raises(TraceFileError):
+            FileTraceSource(json_path)
+
+    def test_truncated_body_raises(self, tmp_path):
+        path = tmp_path / "t.trc"
+        write_trace_file(path, small_trace())
+        data = path.read_bytes()
+        (tmp_path / "cut.trc").write_bytes(data[: len(data) - 40])
+        source = FileTraceSource(tmp_path / "cut.trc")
+        with pytest.raises((TraceFileError, EOFError)):
+            list(source)
+
+    def test_streaming_stats_match_trace_stats(self, tmp_path):
+        trace = multi_slice_kernel(num_uops=800)
+        path = tmp_path / "m.trc"
+        write_trace_file(path, trace)
+        streamed = streaming_trace_stats(FileTraceSource(path))
+        assert streamed == trace.stats()
+
+
+class TestStreamingEquivalence:
+    """Satellite: streaming == materialized, bit-identical stats and energy."""
+
+    def test_every_registered_workload_bit_identical(self):
+        for name in WORKLOAD_REGISTRY.names():
+            trace = build_workload(name, num_uops=1_200)
+            source = build_workload_source(name, num_uops=1_200)
+            eager = run_variant(trace, variant="pre")
+            streamed = run_variant(source, variant="pre")
+            assert streamed.stats.to_dict() == eager.stats.to_dict(), name
+            assert streamed.energy.to_dict() == eager.energy.to_dict(), name
+
+    def test_oracle_variant_materializes_streaming_sources(self):
+        trace = strided_stream(num_uops=1_500)
+        source = GeneratorSource(
+            strided_stream.stream, {"num_uops": 1_500}, name=trace.name
+        )
+        eager = run_variant(trace, variant="runahead_buffer")
+        streamed = run_variant(source, variant="runahead_buffer")
+        assert streamed.stats.to_dict() == eager.stats.to_dict()
+
+
+class TestStreamingMemory:
+    """Acceptance: a GeneratorSource run ≥10x any seed workload at O(window) memory."""
+
+    def test_large_stream_runs_at_window_memory(self):
+        # Seed workloads top out at 20k micro-ops; stream 10x that.
+        num_uops = 200_000
+        source = GeneratorSource(
+            strided_stream.stream, {"num_uops": num_uops}, name="big_stream"
+        )
+        core = OoOCore(source)  # baseline core: no oracle, pure streaming
+        stats = core.run()
+        assert stats.committed_uops >= num_uops
+        cursor = core.frontend.cursor
+        assert isinstance(cursor, StreamingCursor)
+        assert not isinstance(cursor, MaterializedCursor)
+        # The retained window never grew past the in-flight machine state —
+        # three orders of magnitude below the trace length.
+        assert cursor.peak_buffered < 5_000
+        assert len(cursor._buffer) < 5_000
