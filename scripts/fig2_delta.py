@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare per-benchmark IPC against a saved Figure-2 baseline sweep.
+
+Re-runs the exact sweep described by a saved ``python -m repro sweep
+--output`` JSON (same benchmarks, variants, micro-op budget and config
+overrides) against the *current* simulator, then prints per-benchmark,
+per-variant IPC and normalised-performance deltas.  The point is to make
+memory/timing-model changes visible in CI job logs: a committed pre-change
+baseline (see ``benchmarks/baselines/``) turns silent baseline drift into an
+explicit, reviewable table.
+
+This is an informational report — it never fails the build — unless
+``--max-abs-delta`` is given, in which case any |IPC delta| above the bound
+exits non-zero.
+
+Usage:
+    PYTHONPATH=src python scripts/fig2_delta.py \
+        benchmarks/baselines/fig2_pre_fill_on_completion.json \
+        [--workers N] [--cache-dir DIR] [--max-abs-delta PCT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+from repro.simulation.engine import ExperimentEngine, SweepSpec
+
+
+def _ipc_table(sweep_dict: dict) -> Dict[str, Dict[str, float]]:
+    """benchmark -> variant -> IPC, from a serialised sweep's first cell."""
+    table: Dict[str, Dict[str, float]] = {}
+    comparison = sweep_dict["cells"][0]["comparison"]
+    for entry in comparison["benchmarks"]:
+        stats_by_variant = {}
+        for variant, result in entry["results"].items():
+            stats = result["stats"]
+            cycles = stats["cycles"] or 1
+            stats_by_variant[variant] = stats["committed_uops"] / cycles
+        table[entry["benchmark"]] = stats_by_variant
+    return table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="saved sweep JSON to compare against")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--cache-dir", type=str, default=None)
+    parser.add_argument(
+        "--max-abs-delta", type=float, default=None, metavar="PCT",
+        help="fail when any |IPC delta| exceeds this percentage",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    spec = SweepSpec.from_dict(baseline["spec"])
+    print(
+        f"re-running baseline sweep: {len(spec.resolved_workloads())} benchmarks x "
+        f"{len(spec.resolved_variants())} variants, {spec.num_uops} uops each"
+    )
+    engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
+    current = engine.run_sweep(spec).to_dict()
+
+    old = _ipc_table(baseline)
+    new = _ipc_table(current)
+    variants = spec.resolved_variants()
+
+    header = f"{'benchmark':<12}" + "".join(f"{v:>16}" for v in variants)
+    print()
+    print("IPC delta vs baseline (current - baseline, % of baseline)")
+    print(header)
+    print("-" * len(header))
+    worst = 0.0
+    for benchmark in old:
+        row = f"{benchmark:<12}"
+        for variant in variants:
+            was = old[benchmark].get(variant)
+            now = new.get(benchmark, {}).get(variant)
+            if was is None or now is None or was == 0:
+                row += f"{'n/a':>16}"
+                continue
+            delta_pct = 100.0 * (now - was) / was
+            worst = max(worst, abs(delta_pct))
+            row += f"{f'{now:.4f} ({delta_pct:+.1f}%)':>16}"
+        print(row)
+    print()
+    print(f"largest |IPC delta|: {worst:.2f}%")
+
+    if args.max_abs_delta is not None and worst > args.max_abs_delta:
+        print(f"FAIL: exceeds --max-abs-delta {args.max_abs_delta}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,11 @@ class EnergyParameters(JSONSerializable):
     l1_access_pj: float = 22.0
     l2_access_pj: float = 90.0
     l3_access_pj: float = 260.0
+    #: Energy of one DRAM read (demand/prefetch fill).
     dram_access_pj: float = 2600.0
+    #: Energy of one DRAM write (cache writeback); writes skip the read
+    #: sense/restore path but drive the bus and array similarly.
+    dram_write_pj: float = 2600.0
     # Static power
     core_static_w: float = 1.15
     llc_static_w: float = 0.35

@@ -106,9 +106,13 @@ class EnergyModel:
             + hierarchy.l2.stats.accesses * params.l2_access_pj
             + hierarchy.l3.stats.accesses * params.l3_access_pj
         ) / 1000.0
+        # Reads and writes are billed separately: writeback propagation means
+        # DRAM write counts now reflect every dirty victim that reaches main
+        # memory, not just L3 victims.
         breakdown.dram_dynamic_nj = (
-            hierarchy.dram.stats.accesses * params.dram_access_pj / 1000.0
-        )
+            hierarchy.dram.stats.reads * params.dram_access_pj
+            + hierarchy.dram.stats.writes * params.dram_write_pj
+        ) / 1000.0
 
         breakdown.runahead_structures_nj = self._runahead_structures_nj(
             stats, extra_sram or {}, extra_sram_accesses or {}

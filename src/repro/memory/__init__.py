@@ -14,8 +14,9 @@ from repro.memory.hierarchy import (
     HierarchyConfig,
     MemoryHierarchy,
     MemoryLevel,
+    RequestKind,
 )
-from repro.memory.mshr import MSHRFile
+from repro.memory.mshr import MSHREntry, MSHRFile
 from repro.memory.prefetcher import NextLinePrefetcher, StridePrefetcher
 
 __all__ = [
@@ -28,6 +29,8 @@ __all__ = [
     "HierarchyConfig",
     "MemoryHierarchy",
     "MemoryLevel",
+    "RequestKind",
+    "MSHREntry",
     "MSHRFile",
     "NextLinePrefetcher",
     "StridePrefetcher",

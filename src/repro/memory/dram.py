@@ -3,10 +3,16 @@
 Models the DRAM parameters of Table 1: DDR3-1600 (800 MHz bus), 4 ranks,
 32 banks, 4 KB pages (row-buffer), 64-bit bus, tRP-tCL-tRCD = 11-11-11 memory
 cycles.  The model converts memory-clock timings to core cycles (2.66 GHz core)
-and accounts for row-buffer hits/misses and per-bank service occupancy, which
-is sufficient to capture the latency and bandwidth effects the paper's
-evaluation depends on (a few hundred core cycles per LLC miss, higher when
-banks conflict).
+and accounts for row-buffer hits/misses, per-bank service occupancy, and a
+shared data bus, which is sufficient to capture the latency and bandwidth
+effects the paper's evaluation depends on (a few hundred core cycles per LLC
+miss, higher when banks or the bus conflict).
+
+Reads and writes are tracked in separate queues with separate latency
+accounting: reads are demand/prefetch fills whose latency the core observes,
+writes are posted cache writebacks whose *latency* nobody waits on but whose
+bank and bus occupancy delays subsequent reads — so writeback traffic has a
+real bandwidth cost instead of being free.
 """
 
 from __future__ import annotations
@@ -54,13 +60,16 @@ class DRAMConfig(JSONSerializable):
 
 @dataclass
 class DRAMStats:
-    """Access statistics for the DRAM model."""
+    """Access statistics for the DRAM model, split by direction."""
 
     reads: int = 0
     writes: int = 0
     row_hits: int = 0
     row_misses: int = 0
-    total_latency_cycles: int = 0
+    read_latency_cycles: int = 0
+    write_latency_cycles: int = 0
+    read_queue_peak: int = 0
+    write_queue_peak: int = 0
 
     @property
     def accesses(self) -> int:
@@ -68,9 +77,24 @@ class DRAMStats:
         return self.reads + self.writes
 
     @property
+    def total_latency_cycles(self) -> int:
+        """Summed latency over reads and writes."""
+        return self.read_latency_cycles + self.write_latency_cycles
+
+    @property
     def average_latency(self) -> float:
-        """Average request latency in core cycles."""
+        """Average request latency in core cycles (reads and writes)."""
         return self.total_latency_cycles / self.accesses if self.accesses else 0.0
+
+    @property
+    def average_read_latency(self) -> float:
+        """Average read (fill) latency in core cycles."""
+        return self.read_latency_cycles / self.reads if self.reads else 0.0
+
+    @property
+    def average_write_latency(self) -> float:
+        """Average posted-write (writeback) latency in core cycles."""
+        return self.write_latency_cycles / self.writes if self.writes else 0.0
 
     @property
     def row_hit_rate(self) -> float:
@@ -79,12 +103,15 @@ class DRAMStats:
 
 
 class DRAMModel:
-    """Bank-aware DRAM latency model.
+    """Bank- and bus-aware DRAM latency model.
 
     ``access`` returns the number of core cycles from request issue until the
     critical word is available at the memory controller.  Each bank serialises
-    its requests: a request arriving while its bank is busy waits for the bank
-    to free up first.
+    its requests, and every data transfer additionally occupies the single
+    shared data bus for its burst duration: a request arriving while its bank
+    or the bus is busy waits for both to free up first.  Posted writes queue
+    and occupy resources like reads do (delaying later reads that hit the same
+    bank or the bus) but nobody waits on their returned latency.
     """
 
     def __init__(self, config: DRAMConfig = DRAMConfig()) -> None:
@@ -92,6 +119,11 @@ class DRAMModel:
         self.stats = DRAMStats()
         self._open_row: Dict[int, int] = {}
         self._bank_free_at: Dict[int, int] = {}
+        self._bus_free_at: int = 0
+        # Completion cycles of in-flight requests, per direction; pruned lazily
+        # to measure queue depth.
+        self._read_queue: List[int] = []
+        self._write_queue: List[int] = []
 
     def _bank_and_row(self, addr: int) -> tuple:
         page = addr // self.config.page_bytes
@@ -106,11 +138,6 @@ class DRAMModel:
         """Issue a request at ``cycle``; return its latency in core cycles."""
         config = self.config
         bank, row = self._bank_and_row(addr)
-
-        if is_write:
-            self.stats.writes += 1
-        else:
-            self.stats.reads += 1
 
         if self._open_row.get(bank) == row:
             self.stats.row_hits += 1
@@ -127,17 +154,33 @@ class DRAMModel:
 
         access_cycles = config.to_core_cycles(array_cycles + config.burst_cycles)
         service_cycles = config.to_core_cycles(occupancy_cycles)
+        bus_cycles = config.to_core_cycles(config.burst_cycles)
 
-        start = max(cycle, self._bank_free_at.get(bank, 0))
+        start = max(cycle, self._bank_free_at.get(bank, 0), self._bus_free_at)
         queue_delay = start - cycle
         self._bank_free_at[bank] = start + service_cycles
+        self._bus_free_at = start + bus_cycles
 
         latency = config.controller_latency_cycles + queue_delay + access_cycles
-        self.stats.total_latency_cycles += latency
+        completion = cycle + latency
+        queue = self._write_queue if is_write else self._read_queue
+        queue[:] = [done for done in queue if done > cycle]
+        queue.append(completion)
+        if is_write:
+            self.stats.writes += 1
+            self.stats.write_latency_cycles += latency
+            self.stats.write_queue_peak = max(self.stats.write_queue_peak, len(queue))
+        else:
+            self.stats.reads += 1
+            self.stats.read_latency_cycles += latency
+            self.stats.read_queue_peak = max(self.stats.read_queue_peak, len(queue))
         return latency
 
     def reset(self) -> None:
-        """Clear open-row and bank-occupancy state and statistics."""
+        """Clear open-row, bank-occupancy and queue state and statistics."""
         self.stats = DRAMStats()
         self._open_row.clear()
         self._bank_free_at.clear()
+        self._bus_free_at = 0
+        self._read_queue.clear()
+        self._write_queue.clear()

@@ -1,22 +1,35 @@
 """The composed memory hierarchy: L1I/L1D, private L2, shared L3, DRAM, MSHRs.
 
 Geometry and latencies default to Table 1 of the paper.  The hierarchy is a
-timing model at cache-line granularity:
+timing model at cache-line granularity built around *fill-on-completion
+transactions*:
 
 * an access returns an :class:`AccessResult` whose ``latency`` is the number
   of core cycles until the data is available;
-* outstanding fills are tracked per line, so any access to a line already in
-  flight (a demand load hitting under a runahead prefetch, or two runahead
-  loads to the same line) observes only the *remaining* latency;
-* the number of distinct lines in flight is bounded by the MSHR file, which
-  bounds exploitable memory-level parallelism.
+* every miss — demand load or store, instruction fetch, hardware prefetch,
+  runahead prefetch — goes through one shared miss path
+  (:meth:`MemoryHierarchy._miss_path`) that walks L2 -> L3 -> DRAM, allocates
+  an MSHR entry, and queues a fill transaction;
+* cache lines are installed only when their fill's latency has elapsed
+  (:meth:`MemoryHierarchy._expire_inflight` drains due transactions), so
+  ``contains()`` and LRU state never observe the future;
+* the MSHR file is the single book of record for outstanding lines: any
+  access to a line already in flight (a demand load hitting under a runahead
+  prefetch, two runahead loads to the same line, repeated fetches of one
+  missing instruction line) merges with the MSHR entry and observes only the
+  *remaining* latency, and the number of distinct lines in flight is bounded
+  by the MSHR capacity, which bounds exploitable memory-level parallelism;
+* dirty victims propagate level by level (L1D -> L2 -> L3 -> DRAM) when fills
+  evict them, and the final DRAM writeback queues on the real cycle, so
+  writeback traffic occupies banks and the shared bus like any other request.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.memory.cache import CacheConfig, SetAssociativeCache
 from repro.memory.dram import DRAMConfig, DRAMModel
@@ -36,6 +49,31 @@ class MemoryLevel(enum.Enum):
     INFLIGHT = "inflight"
 
 
+class RequestKind(enum.Enum):
+    """What kind of request is walking the miss path.
+
+    Every kind shares the same L2 -> L3 -> DRAM walk; the kind decides which
+    L1 the fill targets, whether the line installs dirty, whether the MSHR
+    demand reserve applies, and which statistics the walk contributes to.
+    """
+
+    LOAD = "load"
+    STORE = "store"
+    IFETCH = "ifetch"
+    HW_PREFETCH = "hw_prefetch"
+    RUNAHEAD_PREFETCH = "runahead_prefetch"
+
+    @property
+    def is_prefetch(self) -> bool:
+        """Speculative kinds, subject to the MSHR demand reserve."""
+        return self in (RequestKind.HW_PREFETCH, RequestKind.RUNAHEAD_PREFETCH)
+
+    @property
+    def is_ifetch(self) -> bool:
+        """Instruction-side kinds, filling towards the L1I."""
+        return self is RequestKind.IFETCH
+
+
 @dataclass(frozen=True)
 class AccessResult:
     """Outcome of a memory access.
@@ -52,13 +90,32 @@ class AccessResult:
         the class of loads that cause full-window stalls in the paper.
     retried:
         True when the access could not be started because the MSHR file was
-        full; the caller must retry on a later cycle.
+        full; the caller must retry on a later cycle.  For instruction
+        fetches ``latency`` then carries the estimated wait until an MSHR
+        entry frees.
     """
 
     latency: int
     level: MemoryLevel
     is_long_latency: bool = False
     retried: bool = False
+
+
+@dataclass
+class _FillTransaction:
+    """An in-flight line fill: where it installs, when, and how.
+
+    ``levels`` lists the caches the line installs into, outermost first, so
+    eviction (and any dirty-victim cascade) at an outer level happens before
+    the inner install.  Only the innermost level receives the dirty bit
+    (write-allocate stores dirty the L1D; outer copies stay clean).
+    """
+
+    completion: int
+    line_addr: int
+    levels: Tuple[SetAssociativeCache, ...]
+    dirty: bool = False
+    is_prefetch: bool = False
 
 
 @dataclass
@@ -96,6 +153,12 @@ class HierarchyStats:
     prefetch_accesses: int = 0
     long_latency_accesses: int = 0
     mshr_stalls: int = 0
+    #: Lines installed into some cache level by a completed fill transaction
+    #: (or a writeback landing from the level above).
+    lines_installed: int = 0
+    #: Dirty victims transferred to the next level down (the last hop of the
+    #: chain is a DRAM write, also visible in ``DRAMStats.writes``).
+    writebacks: int = 0
 
 
 class MemoryHierarchy:
@@ -110,8 +173,16 @@ class MemoryHierarchy:
         self.dram = DRAMModel(self.config.dram)
         self.mshrs = MSHRFile(self.config.mshr_entries, self.config.l1d.line_bytes)
         self.stats = HierarchyStats()
-        # line number -> (completion cycle, was a DRAM access)
-        self._inflight: Dict[int, Tuple[int, bool]] = {}
+        # Due-date ordered fill transactions: (completion, seq, transaction).
+        # This is transaction *payload* (which caches to touch); the MSHR file
+        # alone answers "is this line outstanding?".
+        self._fill_queue: List[Tuple[int, int, _FillTransaction]] = []
+        self._fill_seq = 0
+        #: Optional observers called as (level_name, line_addr, cycle) when a
+        #: line installs / a dirty victim moves down; the core bridges these
+        #: to ``on_fill`` / ``on_writeback`` probes.
+        self.fill_listener: Optional[Callable[[str, int, int], None]] = None
+        self.writeback_listener: Optional[Callable[[str, int, int], None]] = None
         if self.config.prefetcher == "nextline":
             self.prefetcher = NextLinePrefetcher(self.config.l1d.line_bytes)
         elif self.config.prefetcher == "stride":
@@ -123,18 +194,46 @@ class MemoryHierarchy:
 
     # ------------------------------------------------------------------ utils
 
-    def _line(self, addr: int) -> int:
-        return addr // self.config.l1d.line_bytes
+    def _line_addr(self, addr: int) -> int:
+        return self.l1d.line_address(addr)
+
+    def _next_level(self, cache: SetAssociativeCache) -> Optional[SetAssociativeCache]:
+        if cache is self.l1d or cache is self.l1i:
+            return self.l2
+        if cache is self.l2:
+            return self.l3
+        return None
 
     def _expire_inflight(self, cycle: int) -> None:
-        done = [line for line, (completion, _) in self._inflight.items() if completion <= cycle]
-        for line in done:
-            del self._inflight[line]
+        """Drain fill transactions whose latency has elapsed by ``cycle``.
+
+        Each drained transaction installs its line into its target caches *at
+        its completion cycle* — never earlier — evicting victims (and
+        cascading their writebacks) as it lands.  The matching MSHR entries
+        expire lazily inside the MSHR file at the same completion cycles.
+        """
+        while self._fill_queue and self._fill_queue[0][0] <= cycle:
+            _, _, txn = heapq.heappop(self._fill_queue)
+            innermost = txn.levels[-1]
+            for cache in txn.levels:
+                self._install(
+                    cache,
+                    txn.line_addr,
+                    txn.completion,
+                    dirty=txn.dirty and cache is innermost,
+                    # prefetch_fills keeps its L1-only meaning: outer levels
+                    # install the line regardless of what requested it.
+                    is_prefetch=txn.is_prefetch and cache is innermost,
+                )
+
+    def drain(self, cycle: int) -> None:
+        """Public hook to settle all fills due by ``cycle`` (tests, probes)."""
+        self._expire_inflight(cycle)
 
     def inflight_lines(self, cycle: int) -> int:
         """Number of line fills still outstanding at ``cycle``."""
         self._expire_inflight(cycle)
-        return len(self._inflight)
+        return self.mshrs.occupancy(cycle)
 
     # ----------------------------------------------------------------- access
 
@@ -149,130 +248,196 @@ class MemoryHierarchy:
         """Access the data hierarchy for the line containing ``addr``.
 
         Writes model committed stores (write-allocate, write-back); they mark
-        the L1D line dirty.  Prefetch accesses behave like loads but are
-        dropped (``retried=True``) rather than stalled when the MSHR file is
-        full.
+        the L1D line dirty (a store merging with an in-flight fill dirties the
+        pending fill, so the line still installs dirty).  Prefetch accesses
+        behave like loads but are dropped (``retried=True``) rather than
+        stalled when the MSHR file reaches the prefetch limit.
         """
         self.stats.data_accesses += 1
         if is_prefetch:
             self.stats.prefetch_accesses += 1
         self._expire_inflight(cycle)
-        line = self._line(addr)
 
-        inflight = self._inflight.get(line)
-        if inflight is not None:
-            completion, was_dram = inflight
-            remaining = max(completion - cycle, 1)
+        entry = self.mshrs.merge(addr, cycle)
+        if entry is not None:
+            if is_write:
+                self._mark_pending_dirty(addr)
+            remaining = max(entry.completion_cycle - cycle, 1)
             latency = max(remaining, self.config.l1d.latency)
-            if was_dram:
+            if entry.is_dram:
                 self.stats.long_latency_accesses += 1
-            return AccessResult(latency, MemoryLevel.INFLIGHT, is_long_latency=was_dram)
+            return AccessResult(latency, MemoryLevel.INFLIGHT, is_long_latency=entry.is_dram)
 
         if self.l1d.lookup(addr, is_write=is_write):
             self._train_prefetcher(pc, addr, cycle)
             return AccessResult(self.config.l1d.latency, MemoryLevel.L1D)
 
-        # L1D miss: need an MSHR for the fill.  Prefetches may not take the
-        # last few entries, which are reserved for demand misses.
-        limit = self.config.mshr_entries
         if is_prefetch:
-            limit = max(1, limit - self.config.mshr_demand_reserve)
-        if self.mshrs.occupancy(cycle) >= limit:
+            kind = RequestKind.RUNAHEAD_PREFETCH
+        elif is_write:
+            kind = RequestKind.STORE
+        else:
+            kind = RequestKind.LOAD
+        result = self._miss_path(addr, cycle, kind)
+        if not result.retried:
+            self._train_prefetcher(pc, addr, cycle)
+        return result
+
+    def access_instruction(self, pc: int, cycle: int) -> AccessResult:
+        """Access the instruction side of the hierarchy for the line containing ``pc``.
+
+        Instruction fetches use the same unified miss path as data accesses:
+        repeated fetches of one missing line merge with its in-flight fill
+        (observing only the remaining latency) instead of each paying a full
+        DRAM access, and I-side misses take MSHR entries like D-side ones.
+        """
+        self.stats.instruction_accesses += 1
+        self._expire_inflight(cycle)
+        entry = self.mshrs.merge(pc, cycle)
+        if entry is not None:
+            remaining = max(entry.completion_cycle - cycle, 1)
+            latency = max(remaining, self.config.l1i.latency)
+            return AccessResult(latency, MemoryLevel.INFLIGHT, is_long_latency=entry.is_dram)
+        if self.l1i.lookup(pc):
+            return AccessResult(self.config.l1i.latency, MemoryLevel.L1I)
+        return self._miss_path(pc, cycle, RequestKind.IFETCH)
+
+    # -------------------------------------------------------------- miss path
+
+    def _miss_path(self, addr: int, cycle: int, kind: RequestKind) -> AccessResult:
+        """The one shared L2 -> L3 -> DRAM walk behind every L1 miss.
+
+        Allocates the transaction's MSHR entry (the admission decision — the
+        ``allocate`` return value — is what rejects requests, enforcing the
+        demand reserve for both hardware and runahead prefetches), walks the
+        outer levels, and queues a fill transaction that installs the line
+        when its latency elapses.
+        """
+        l1 = self.l1i if kind.is_ifetch else self.l1d
+        limit: Optional[int] = None
+        if kind.is_prefetch:
+            limit = max(1, self.config.mshr_entries - self.config.mshr_demand_reserve)
+        # Provisional allocation first: a rejected request must not perturb
+        # DRAM bank or row-buffer state.
+        if not self.mshrs.allocate(addr, cycle + 1, cycle, limit=limit):
             self.stats.mshr_stalls += 1
+            if kind.is_ifetch:
+                # The front end cannot replay a fetch packet out of order; it
+                # waits for the next MSHR entry to free and retries the line.
+                free_at = self.mshrs.earliest_completion(cycle)
+                wait = max(free_at - cycle, 1) if free_at is not None else 1
+                return AccessResult(wait, MemoryLevel.L1I, retried=True)
             return AccessResult(0, MemoryLevel.L1D, retried=True)
 
-        latency = self.config.l1d.latency
+        latency = l1.config.latency
         if self.l2.lookup(addr):
             latency += self.config.l2.latency
             level = MemoryLevel.L2
+            targets: Tuple[SetAssociativeCache, ...] = (l1,)
+            is_dram = False
         elif self.l3.lookup(addr):
             latency += self.config.l2.latency + self.config.l3.latency
             level = MemoryLevel.L3
-            self._fill(self.l2, addr)
+            targets = (self.l2, l1)
+            is_dram = False
         else:
             dram_latency = self.dram.access(addr, cycle, is_write=False)
             latency += self.config.l2.latency + self.config.l3.latency + dram_latency
             level = MemoryLevel.DRAM
-            self.stats.long_latency_accesses += 1
-            self._fill(self.l3, addr)
-            self._fill(self.l2, addr)
+            targets = (self.l3, self.l2, l1)
+            is_dram = True
+            if kind in (RequestKind.LOAD, RequestKind.STORE, RequestKind.RUNAHEAD_PREFETCH):
+                self.stats.long_latency_accesses += 1
 
-        self._fill(self.l1d, addr, dirty=is_write, is_prefetch=is_prefetch)
         completion = cycle + latency
-        self._inflight[line] = (completion, level is MemoryLevel.DRAM)
-        self.mshrs.allocate(addr, completion, cycle)
-        self._train_prefetcher(pc, addr, cycle)
-        return AccessResult(latency, level, is_long_latency=level is MemoryLevel.DRAM)
+        self.mshrs.update(addr, completion, is_dram)
+        self._fill_seq += 1
+        heapq.heappush(
+            self._fill_queue,
+            (
+                completion,
+                self._fill_seq,
+                _FillTransaction(
+                    completion=completion,
+                    line_addr=self._line_addr(addr),
+                    levels=targets,
+                    dirty=kind is RequestKind.STORE,
+                    is_prefetch=kind.is_prefetch,
+                ),
+            ),
+        )
+        return AccessResult(latency, level, is_long_latency=is_dram)
 
-    def access_instruction(self, pc: int, cycle: int) -> AccessResult:
-        """Access the instruction side of the hierarchy for the line containing ``pc``."""
-        self.stats.instruction_accesses += 1
-        if self.l1i.lookup(pc):
-            return AccessResult(self.config.l1i.latency, MemoryLevel.L1I)
-        latency = self.config.l1i.latency
-        if self.l2.lookup(pc):
-            latency += self.config.l2.latency
-            level = MemoryLevel.L2
-        elif self.l3.lookup(pc):
-            latency += self.config.l2.latency + self.config.l3.latency
-            level = MemoryLevel.L3
-            self._fill(self.l2, pc)
-        else:
-            latency += (
-                self.config.l2.latency
-                + self.config.l3.latency
-                + self.dram.access(pc, cycle, is_write=False)
-            )
-            level = MemoryLevel.DRAM
-            self._fill(self.l3, pc)
-            self._fill(self.l2, pc)
-        self._fill(self.l1i, pc)
-        return AccessResult(latency, level)
+    def _mark_pending_dirty(self, addr: int) -> None:
+        """A store merged with an in-flight fill: the line must install dirty.
+
+        If the covering fill targets the L1I (the store merged with an
+        instruction fetch to the same line), the returning line additionally
+        installs into the L1D, which becomes the innermost level and receives
+        the dirty bit — an I-cache can never hold dirty data.
+        """
+        line_addr = self._line_addr(addr)
+        for _, _, txn in self._fill_queue:
+            if txn.line_addr == line_addr:
+                if txn.levels[-1] is self.l1i:
+                    txn.levels = txn.levels + (self.l1d,)
+                txn.dirty = True
+                return
 
     # ------------------------------------------------------------------ fills
 
-    def _fill(self, cache: SetAssociativeCache, addr: int, dirty: bool = False,
-              is_prefetch: bool = False) -> None:
-        writeback = cache.fill(addr, dirty=dirty, is_prefetch=is_prefetch)
-        if writeback is not None and cache is self.l3:
-            # Dirty L3 victims go to DRAM; timing is fire-and-forget, but the
-            # write occupies a bank for bandwidth/energy accounting.
-            self.dram.access(writeback, 0, is_write=True)
+    def _install(
+        self,
+        cache: SetAssociativeCache,
+        addr: int,
+        cycle: int,
+        dirty: bool = False,
+        is_prefetch: bool = False,
+    ) -> None:
+        """Install a line into ``cache``, propagating any dirty victim down.
+
+        A dirty victim is written back into the next level (marked dirty
+        there), which may evict its own dirty victim, cascading until a DRAM
+        write issues at the real ``cycle`` — so writeback traffic is neither
+        dropped nor timestamp-poisoned.
+        """
+        victim = cache.fill(addr, dirty=dirty, is_prefetch=is_prefetch)
+        self.stats.lines_installed += 1
+        if self.fill_listener is not None:
+            self.fill_listener(cache.config.name, self._line_addr(addr), cycle)
+        if victim is None:
+            return
+        self.stats.writebacks += 1
+        if self.writeback_listener is not None:
+            self.writeback_listener(cache.config.name, victim, cycle)
+        below = self._next_level(cache)
+        if below is None:
+            # L3 victim: a posted DRAM write.  Nobody waits on its latency,
+            # but it queues at the real cycle and occupies a bank and the
+            # shared bus, delaying subsequent fills.
+            self.dram.access(victim, cycle, is_write=True)
+        else:
+            self._install(below, victim, cycle, dirty=True)
 
     def _train_prefetcher(self, pc: int, addr: int, cycle: int) -> None:
         if self.prefetcher is None:
             return
         for target in self.prefetcher.train(pc, addr):
-            line = self._line(target)
-            if line in self._inflight or self.l1d.contains(target):
+            if self.mshrs.lookup(target, cycle) is not None or self.l1d.contains(target):
+                self.prefetcher.stats.prefetches_dropped += 1
                 continue
-            if self.mshrs.is_full(cycle):
+            result = self._miss_path(target, cycle, RequestKind.HW_PREFETCH)
+            if result.retried:
+                self.prefetcher.stats.prefetches_dropped += 1
                 break
-            result_latency = self.config.l1d.latency
-            if self.l2.lookup(target):
-                result_latency += self.config.l2.latency
-                was_dram = False
-            elif self.l3.lookup(target):
-                result_latency += self.config.l2.latency + self.config.l3.latency
-                self._fill(self.l2, target)
-                was_dram = False
-            else:
-                result_latency += (
-                    self.config.l2.latency
-                    + self.config.l3.latency
-                    + self.dram.access(target, cycle)
-                )
-                self._fill(self.l3, target)
-                self._fill(self.l2, target)
-                was_dram = True
-            self._fill(self.l1d, target, is_prefetch=True)
-            completion = cycle + result_latency
-            self._inflight[line] = (completion, was_dram)
-            self.mshrs.allocate(target, completion, cycle)
 
     def warm(self, addresses, dirty: bool = False) -> None:
-        """Pre-install lines in all cache levels (useful for tests and warm-up)."""
+        """Pre-install lines in all cache levels (useful for tests and warm-up).
+
+        Warming bypasses fill timing — it models state left behind before the
+        measured window — but victims still cascade properly.
+        """
         for addr in addresses:
-            self._fill(self.l3, addr)
-            self._fill(self.l2, addr)
-            self._fill(self.l1d, addr, dirty=dirty)
+            self._install(self.l3, addr, 0)
+            self._install(self.l2, addr, 0)
+            self._install(self.l1d, addr, 0, dirty=dirty)

@@ -5,6 +5,14 @@ from the memory system at once — i.e. it bounds the memory-level parallelism
 the core (and runahead execution) can expose.  Requests to a line that is
 already outstanding merge with the existing entry and observe only the
 remaining latency.
+
+Since the fill-on-completion rewrite of the hierarchy, the MSHR file is the
+*single book of record* for outstanding lines: every miss transaction —
+demand load or store, instruction fetch, hardware prefetch, runahead
+prefetch — allocates exactly one entry here, and the entry lives exactly as
+long as the fill is outstanding.  Entries carry the metadata merging requests
+need (:attr:`MSHREntry.is_dram` marks off-chip fills, the class of loads that
+cause full-window stalls in the paper).
 """
 
 from __future__ import annotations
@@ -23,6 +31,23 @@ class MSHRStats:
     peak_occupancy: int = 0
 
 
+@dataclass
+class MSHREntry:
+    """One outstanding line fill.
+
+    Attributes
+    ----------
+    completion_cycle:
+        Cycle at which the fill's data is available (and the entry frees).
+    is_dram:
+        Whether the fill is being serviced off-chip; merging requests inherit
+        this as their ``is_long_latency``.
+    """
+
+    completion_cycle: int
+    is_dram: bool = False
+
+
 class MSHRFile:
     """Tracks outstanding line fills, with merging and a capacity limit."""
 
@@ -32,14 +57,18 @@ class MSHRFile:
         self.num_entries = num_entries
         self.line_bytes = line_bytes
         self.stats = MSHRStats()
-        # line number -> cycle at which the fill completes
-        self._inflight: Dict[int, int] = {}
+        # line number -> outstanding fill record
+        self._inflight: Dict[int, MSHREntry] = {}
 
     def _line(self, addr: int) -> int:
         return addr // self.line_bytes
 
     def _expire(self, cycle: int) -> None:
-        expired = [line for line, done in self._inflight.items() if done <= cycle]
+        expired = [
+            line
+            for line, entry in self._inflight.items()
+            if entry.completion_cycle <= cycle
+        ]
         for line in expired:
             del self._inflight[line]
 
@@ -52,36 +81,69 @@ class MSHRFile:
         """Whether a new (non-merging) miss would be rejected at ``cycle``."""
         return self.occupancy(cycle) >= self.num_entries
 
-    def outstanding_completion(self, addr: int, cycle: int) -> Optional[int]:
-        """Completion cycle of an in-flight fill covering ``addr``, or ``None``."""
+    def lookup(self, addr: int, cycle: int) -> Optional[MSHREntry]:
+        """The outstanding fill covering ``addr``, without counting a merge."""
         self._expire(cycle)
         return self._inflight.get(self._line(addr))
 
-    def allocate(self, addr: int, completion_cycle: int, cycle: int) -> bool:
+    def outstanding_completion(self, addr: int, cycle: int) -> Optional[int]:
+        """Completion cycle of an in-flight fill covering ``addr``, or ``None``."""
+        entry = self.lookup(addr, cycle)
+        return entry.completion_cycle if entry is not None else None
+
+    def earliest_completion(self, cycle: int) -> Optional[int]:
+        """Completion cycle of the next entry to free, or ``None`` when empty."""
+        self._expire(cycle)
+        if not self._inflight:
+            return None
+        return min(entry.completion_cycle for entry in self._inflight.values())
+
+    def allocate(
+        self,
+        addr: int,
+        completion_cycle: int,
+        cycle: int,
+        is_dram: bool = False,
+        limit: Optional[int] = None,
+    ) -> bool:
         """Record a new outstanding fill.
 
-        Returns False (and counts a rejection) if the MSHR file is full and the
-        line is not already outstanding; the caller must retry later.
+        ``limit`` caps the occupancy this request may grow the file to;
+        prefetches pass ``num_entries - demand_reserve`` so speculative
+        traffic can never take the entries reserved for demand misses.
+
+        Returns False (and counts a rejection) if the applicable limit is
+        reached and the line is not already outstanding; the caller must
+        retry later.
         """
         self._expire(cycle)
         line = self._line(addr)
         if line in self._inflight:
             self.stats.merges += 1
             return True
-        if len(self._inflight) >= self.num_entries:
+        cap = self.num_entries if limit is None else min(limit, self.num_entries)
+        if len(self._inflight) >= cap:
             self.stats.full_rejections += 1
             return False
-        self._inflight[line] = completion_cycle
+        self._inflight[line] = MSHREntry(completion_cycle, is_dram)
         self.stats.allocations += 1
         self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._inflight))
         return True
 
-    def merge(self, addr: int, cycle: int) -> Optional[int]:
-        """Merge a request with an outstanding fill; return its completion cycle."""
-        completion = self.outstanding_completion(addr, cycle)
-        if completion is not None:
+    def update(self, addr: int, completion_cycle: int, is_dram: bool) -> None:
+        """Finalise a provisional entry once the miss path has its latency."""
+        entry = self._inflight.get(self._line(addr))
+        if entry is None:
+            raise KeyError(f"no outstanding MSHR entry for address {addr:#x}")
+        entry.completion_cycle = completion_cycle
+        entry.is_dram = is_dram
+
+    def merge(self, addr: int, cycle: int) -> Optional[MSHREntry]:
+        """Merge a request with an outstanding fill; return its entry."""
+        entry = self.lookup(addr, cycle)
+        if entry is not None:
             self.stats.merges += 1
-        return completion
+        return entry
 
     def clear(self) -> None:
         """Drop all outstanding entries (used when resetting the hierarchy)."""

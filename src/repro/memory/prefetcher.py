@@ -18,6 +18,10 @@ class PrefetcherStats:
 
     trainings: int = 0
     prefetches_issued: int = 0
+    #: Emitted targets the hierarchy did not start a fill for: the line was
+    #: already resident or in flight, or the MSHR file was at the prefetch
+    #: limit (demand-reserved entries are never available to prefetches).
+    prefetches_dropped: int = 0
 
 
 class NextLinePrefetcher:

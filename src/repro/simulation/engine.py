@@ -49,7 +49,7 @@ from repro.workloads.trace import Trace
 
 #: Bump when the simulator or result schema changes incompatibly; invalidates
 #: every cached result.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 
 # --------------------------------------------------------------------- sweeps

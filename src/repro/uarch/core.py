@@ -156,13 +156,28 @@ class OoOCore:
         self._event_counter = 0
         self._current_stall_seq: Optional[int] = None
         self._open_interval: Optional[RunaheadInterval] = None
+        self._store_commit_stalled = False
 
         self.controller = controller
         if controller is not None:
             controller.attach(self)
         self.probes.attach(self)
+        # Bridge the hierarchy's fill/writeback observers onto the probe API
+        # only when some probe actually listens, so unprobed runs pay nothing.
+        if self.probes.fill:
+            self.hierarchy.fill_listener = self._emit_fill
+        if self.probes.writeback:
+            self.hierarchy.writeback_listener = self._emit_writeback
 
     # ------------------------------------------------------------------ utils
+
+    def _emit_fill(self, level: str, line_addr: int, cycle: int) -> None:
+        for probe in self.probes.fill:
+            probe.on_fill(self, level, line_addr, cycle)
+
+    def _emit_writeback(self, level: str, line_addr: int, cycle: int) -> None:
+        for probe in self.probes.writeback:
+            probe.on_writeback(self, level, line_addr, cycle)
 
     def regfile_for(self, is_fp: bool) -> PhysicalRegisterFile:
         """Return the integer or floating-point physical register file."""
@@ -219,6 +234,10 @@ class OoOCore:
                     probe.on_cycles_skipped(self, self.cycle + 1, self.cycle + skipped)
             self.cycle += skipped
         self.stats.cycles = self.cycle
+        # Settle fills whose latency elapsed but that no later access drained,
+        # so end-of-run cache/DRAM/writeback statistics cover the whole window
+        # (fills still genuinely in flight at the final cycle stay uncounted).
+        self.hierarchy.drain(self.cycle)
         self.probes.finish(self, self.stats)
         return self.stats
 
@@ -283,16 +302,27 @@ class OoOCore:
         ):
             return 0
         committed = 0
+        self._store_commit_stalled = False
         while committed < self.config.pipeline_width:
             head = self.rob.head()
             if head is None or not head.completed:
                 break
+            store_result = None
+            if head.uop.is_store:
+                store_result = self.hierarchy.access_data(
+                    head.uop.mem_addr, self.cycle, is_write=True, pc=head.uop.pc
+                )
+                if store_result.retried:
+                    # No MSHR entry for the store's write-allocate: the store
+                    # stays at the ROB head and commit retries when one frees.
+                    self._store_commit_stalled = True
+                    break
             self.rob.pop_head()
-            self._commit_instr(head)
+            self._commit_instr(head, store_result)
             committed += 1
         return committed
 
-    def _commit_instr(self, instr: DynInstr) -> None:
+    def _commit_instr(self, instr: DynInstr, store_result=None) -> None:
         if instr.dest_preg is not None and instr.uop.dst is not None:
             self.retirement_rat.commit(instr.uop.dst, instr.dest_preg)
             if instr.prev_preg is not None:
@@ -300,13 +330,10 @@ class OoOCore:
                 if regfile.is_allocated(instr.prev_preg):
                     regfile.free(instr.prev_preg)
         if instr.uop.is_store:
-            result = self.hierarchy.access_data(
-                instr.uop.mem_addr, self.cycle, is_write=True, pc=instr.uop.pc
-            )
             self.stats.committed_stores += 1
-            if self.probes.mem_access:
+            if self.probes.mem_access and store_result is not None:
                 for probe in self.probes.mem_access:
-                    probe.on_mem_access(self, instr, result, self.cycle)
+                    probe.on_mem_access(self, instr, store_result, self.cycle)
         if instr.uop.is_load:
             self.stats.committed_loads += 1
         if instr.in_lsq:
@@ -615,6 +642,14 @@ class OoOCore:
             wake = self.controller.next_wake_cycle(self.cycle)
             if wake is not None:
                 candidates.append(wake)
+        if self._store_commit_stalled:
+            # A committed store is waiting for an MSHR entry to free; the
+            # fills holding them are not all core-scheduled events (hardware
+            # prefetches, instruction fetches), so wake when one completes.
+            free_at = self.hierarchy.mshrs.earliest_completion(self.cycle)
+            candidates.append(
+                free_at if free_at is not None and free_at > self.cycle else self.cycle + 1
+            )
         future = [cycle for cycle in candidates if cycle > self.cycle]
         return min(future) if future else None
 

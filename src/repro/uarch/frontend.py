@@ -143,10 +143,14 @@ class FrontEnd:
             and len(self._pipe) < pipe_capacity
         ):
             uop = self.cursor.get(self.fetch_index)
+            penalty = self._instruction_fetch_penalty(uop.pc, cycle)
+            if penalty is None:
+                # MSHR file full: fetch stalls (``_resume_cycle`` was pushed
+                # out) and this micro-op is retried after the wait.
+                break
             seq = self.fetch_index
             self.fetch_index += 1
-            ready = cycle + self.config.frontend_depth
-            ready += self._instruction_fetch_penalty(uop.pc, cycle)
+            ready = cycle + self.config.frontend_depth + penalty
             entry = FetchedUop(seq=seq, uop=uop, ready_cycle=ready)
             if uop.is_branch:
                 entry.predicted_taken = self.predictor.predict(uop.pc)
@@ -162,8 +166,13 @@ class FrontEnd:
             fetched += 1
         return fetched
 
-    def _instruction_fetch_penalty(self, pc: int, cycle: int) -> int:
-        """Extra cycles for instruction-cache misses (rare for loopy workloads)."""
+    def _instruction_fetch_penalty(self, pc: int, cycle: int) -> Optional[int]:
+        """Extra cycles for instruction-cache misses (rare for loopy workloads).
+
+        Returns ``None`` when the access could not start (MSHR file full): the
+        caller must stall fetch — ``_resume_cycle`` is advanced past the
+        estimated wait — and retry the micro-op afterwards.
+        """
         if self.hierarchy is None:
             return 0
         line = pc // self.hierarchy.config.l1i.line_bytes
@@ -171,6 +180,10 @@ class FrontEnd:
             return 0
         self._last_fetch_line = line
         result = self.hierarchy.access_instruction(pc, cycle)
+        if result.retried:
+            self._last_fetch_line = None
+            self._resume_cycle = max(self._resume_cycle, cycle + max(1, result.latency))
+            return None
         return max(0, result.latency - self.hierarchy.config.l1i.latency)
 
     # -------------------------------------------------------------- dispatch

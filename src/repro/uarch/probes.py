@@ -28,6 +28,11 @@ the run completes.  In between the core emits:
 * ``on_mem_access(core, instr, result, cycle)`` — a load issued to or a store
   committed into the data memory hierarchy (``result`` is the
   :class:`~repro.memory.hierarchy.AccessResult`);
+* ``on_fill(core, level, line_addr, cycle)`` — a fill transaction completed
+  and installed ``line_addr`` into cache ``level`` (fills land when their
+  latency elapses, not when the miss issues);
+* ``on_writeback(core, level, line_addr, cycle)`` — a dirty victim left
+  ``level`` for the next level down (the last hop is a DRAM write);
 * ``on_full_window_stall(core, instr, cycle)`` — a new full-window stall began
   behind long-latency load ``instr``.
 
@@ -77,6 +82,12 @@ class Probe:
     ) -> None:
         """A data-memory access was performed for ``instr``."""
 
+    def on_fill(self, core: "OoOCore", level: str, line_addr: int, cycle: int) -> None:
+        """A completed fill installed ``line_addr`` into cache ``level``."""
+
+    def on_writeback(self, core: "OoOCore", level: str, line_addr: int, cycle: int) -> None:
+        """A dirty victim of ``level`` was written back to the next level down."""
+
     def on_full_window_stall(self, core: "OoOCore", instr: "DynInstr", cycle: int) -> None:
         """A new full-window stall began behind long-latency load ``instr``."""
 
@@ -100,6 +111,8 @@ _HOOKS = (
     "on_runahead_enter",
     "on_runahead_exit",
     "on_mem_access",
+    "on_fill",
+    "on_writeback",
     "on_full_window_stall",
 )
 
@@ -310,9 +323,14 @@ def _build_mem_profile() -> "MemoryProfileProbe":
 
 
 class MemoryProfileProbe(Probe):
-    """Count data-memory accesses by the hierarchy level that serviced them.
+    """Profile the memory system: accesses by servicing level, plus the fill
+    and writeback traffic the fill-on-completion hierarchy emits.
 
-    Report: ``{"levels": {"l1d": n, ...}, "long_latency": n, "total": n}``.
+    Report: ``{"levels": {"L1D": n, ...}, "long_latency": n, "total": n,
+    "fills": {"L1D": n, ...}, "writebacks": {"L1D": n, ..., "DRAM": n}}`` —
+    ``fills`` counts completed line installs per cache level, ``writebacks``
+    counts dirty victims leaving each level (the ``"DRAM"`` key is the final
+    hop: posted main-memory writes).
     """
 
     name = "mem_profile"
@@ -321,6 +339,8 @@ class MemoryProfileProbe(Probe):
         self.levels: Dict[str, int] = {}
         self.long_latency = 0
         self.total = 0
+        self.fills: Dict[str, int] = {}
+        self.writebacks: Dict[str, int] = {}
 
     def on_mem_access(
         self, core: "OoOCore", instr: "DynInstr", result: "AccessResult", cycle: int
@@ -331,11 +351,26 @@ class MemoryProfileProbe(Probe):
             self.long_latency += 1
         self.total += 1
 
+    def on_fill(self, core: "OoOCore", level: str, line_addr: int, cycle: int) -> None:
+        self.fills[level] = self.fills.get(level, 0) + 1
+
+    def on_writeback(self, core: "OoOCore", level: str, line_addr: int, cycle: int) -> None:
+        self.writebacks[level] = self.writebacks.get(level, 0) + 1
+
+    def on_finish(self, core: "OoOCore", stats: "CoreStats") -> None:
+        # DRAM writes are the terminal hop of every writeback chain; surface
+        # them next to the per-cache-level counts.
+        writes = core.hierarchy.dram.stats.writes
+        if writes:
+            self.writebacks["DRAM"] = writes
+
     def report(self) -> Dict[str, Any]:
         return {
             "levels": dict(sorted(self.levels.items())),
             "long_latency": self.long_latency,
             "total": self.total,
+            "fills": dict(sorted(self.fills.items())),
+            "writebacks": dict(sorted(self.writebacks.items())),
         }
 
 

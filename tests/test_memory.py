@@ -87,7 +87,9 @@ class TestMSHR:
         mshrs = MSHRFile(num_entries=1)
         mshrs.allocate(128, completion_cycle=50, cycle=0)
         assert mshrs.allocate(128 + 8, completion_cycle=60, cycle=10)  # same line merges
-        assert mshrs.merge(128, cycle=10) == 50
+        entry = mshrs.merge(128, cycle=10)
+        assert entry is not None and entry.completion_cycle == 50
+        assert mshrs.merge(4096, cycle=10) is None
 
     def test_full_rejection(self):
         mshrs = MSHRFile(num_entries=1)
