@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the golden CoreStats digests (tests/goldens/golden_stats.json).
+
+Run this ONLY when the timing model has *intentionally* changed (a new
+feature, a modelled-behaviour fix) — never as part of a performance
+optimization, whose whole contract is that the goldens stay bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python scripts/capture_goldens.py [--uops N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.simulation.golden import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_GOLDEN_PATH,
+    DEFAULT_GOLDEN_UOPS,
+    DEFAULT_GOLDEN_VARIANTS,
+    DEFAULT_GOLDEN_WORKLOADS,
+    capture_goldens,
+    write_goldens,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--uops", type=int, default=DEFAULT_GOLDEN_UOPS)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / DEFAULT_GOLDEN_PATH
+    )
+    args = parser.parse_args()
+    print(
+        f"capturing goldens: {len(DEFAULT_GOLDEN_WORKLOADS)} workloads x "
+        f"{len(DEFAULT_GOLDEN_VARIANTS)} variants at {args.uops} micro-ops",
+        file=sys.stderr,
+    )
+    record = capture_goldens(num_uops=args.uops)
+    path = write_goldens(record, args.output)
+    print(f"wrote {len(record['cells'])} golden cells to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """``python -m repro`` — the reproduction's command-line interface.
 
-Four subcommands drive the experiment engine:
+Five subcommands drive the experiment engine:
 
 * ``python -m repro list`` — show every registered workload, core variant and
   instrumentation probe;
@@ -10,7 +10,11 @@ Four subcommands drive the experiment engine:
 * ``python -m repro report`` — re-render figures/summary from a saved sweep
   without re-simulating anything;
 * ``python -m repro trace record|info|replay`` — stream a workload into a
-  compressed trace file, inspect it, and replay it through the engine.
+  compressed trace file, inspect it, and replay it through the engine;
+* ``python -m repro bench`` — measure simulator throughput (wall-clock,
+  uops/s, cycles/s, peak RSS) over a fixed workload x variant matrix, write
+  a ``BENCH_<n>.json`` report, and optionally ``--compare`` against a
+  previous report.
 
 Reproducing the paper end to end::
 
@@ -24,6 +28,12 @@ Record/replay round trip::
     python -m repro trace record --workload mcf --uops 5000 --output mcf.trc
     python -m repro trace info mcf.trc --stats
     python -m repro trace replay mcf.trc --variants pre,runahead
+
+Tracking simulator performance::
+
+    python -m repro bench                      # writes BENCH_<n>.json
+    python -m repro bench --compare BENCH_0.json
+    python -m repro bench --quick              # CI smoke subset
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from repro.registry import (
     build_workload_source,
 )
 from repro.simulation.engine import ExperimentEngine, SweepResult, SweepSpec
+from repro.simulation.golden import DEFAULT_GOLDEN_WORKLOADS
 from repro.workloads.source import (
     FileTraceSource,
     read_trace_header,
@@ -227,6 +238,57 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.simulation import perfbench
+
+    if args.quick:
+        default_workloads = perfbench.QUICK_BENCH_WORKLOADS
+        default_variants = perfbench.QUICK_BENCH_VARIANTS
+        default_uops = perfbench.QUICK_BENCH_UOPS
+    else:
+        default_workloads = perfbench.DEFAULT_BENCH_WORKLOADS
+        default_variants = perfbench.DEFAULT_BENCH_VARIANTS
+        default_uops = perfbench.DEFAULT_BENCH_UOPS
+    # Explicit selections always win; --quick only changes the defaults.
+    workloads = _parse_names(
+        args.benchmarks or ",".join(default_workloads),
+        WORKLOAD_REGISTRY.names(),
+        "benchmarks",
+    )
+    variants = _parse_names(
+        args.variants or ",".join(default_variants),
+        VARIANT_REGISTRY.names(),
+        "variants",
+    )
+    num_uops = args.uops if args.uops is not None else default_uops
+    for name in workloads:
+        WORKLOAD_REGISTRY.get(name)  # fail on typos before any simulation
+    for name in variants:
+        VARIANT_REGISTRY.get(name)
+    print(
+        f"benchmarking {len(workloads)} workloads x {len(variants)} variants "
+        f"({num_uops} micro-ops/cell, best of {args.repeats}) ...",
+        file=sys.stderr,
+    )
+    report = perfbench.run_bench(
+        workloads=workloads,
+        variants=variants,
+        num_uops=num_uops,
+        repeats=args.repeats,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    print(perfbench.format_report(report))
+    if not args.no_write:
+        path = args.output or perfbench.next_bench_path(args.dir)
+        perfbench.write_report(report, path)
+        print(f"\nbench report written to {path}", file=sys.stderr)
+    if args.compare:
+        baseline = perfbench.load_report(args.compare)
+        print(f"\nDelta vs {args.compare}:")
+        print(perfbench.compare_reports(baseline, report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -240,7 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub_sweep = sub.add_parser("sweep", help="run a benchmarks x variants sweep")
     sub_sweep.add_argument(
         "--benchmarks",
-        default="mcf,libquantum,milc,sphinx3,bwaves,lbm",
+        default=",".join(DEFAULT_GOLDEN_WORKLOADS),
         help="comma-separated workload names, or 'all' for the full suite",
     )
     sub_sweep.add_argument(
@@ -361,6 +423,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="which figure/table to print (default: all)",
     )
     trace_replay.set_defaults(func=_cmd_trace_replay)
+
+    sub_bench = sub.add_parser(
+        "bench",
+        help="measure simulator throughput and write a BENCH_<n>.json report",
+    )
+    sub_bench.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated workload names, or 'all' "
+             "(default: the Figure-2 six-benchmark matrix)",
+    )
+    sub_bench.add_argument(
+        "--variants", default=None,
+        help="comma-separated variant names, or 'all' (default: every variant)",
+    )
+    sub_bench.add_argument(
+        "--uops", type=int, default=None,
+        help="micro-ops per cell (default: 3000, or 800 with --quick)",
+    )
+    sub_bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="runs per cell; wall time is the best of these (default: 1)",
+    )
+    sub_bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke matrix: mcf,milc x ooo,pre at 800 micro-ops",
+    )
+    sub_bench.add_argument(
+        "--dir", default=".",
+        help="directory for the auto-numbered BENCH_<n>.json (default: cwd)",
+    )
+    sub_bench.add_argument(
+        "--output", default=None,
+        help="explicit report path (overrides the auto-numbered name)",
+    )
+    sub_bench.add_argument(
+        "--no-write", action="store_true",
+        help="print the table only; do not write a report file",
+    )
+    sub_bench.add_argument(
+        "--compare", default=None, metavar="PREV.json",
+        help="print per-cell throughput deltas against a previous report",
+    )
+    sub_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

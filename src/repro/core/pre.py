@@ -205,37 +205,44 @@ class PreciseRunaheadController(RunaheadController):
         """
         core = self.core
         assert core is not None and self.sst is not None and self.prdq is not None
+        queue = core.frontend.uop_queue
+        if not queue:
+            return 0
+        emq = self.emq if self.use_emq else None
+        events = core.stats.events
+        fetch_width = core.config.fetch_width
+        pipeline_width = core.config.pipeline_width
         consumed = 0
         dispatched_hits = 0
-        while consumed < core.config.fetch_width:
-            entry = core.frontend.peek()
-            if entry is None or entry.ready_cycle > cycle:
+        while consumed < fetch_width and queue:
+            entry = queue[0]
+            if entry.ready_cycle > cycle:
                 break
             uop = entry.uop
-            if self.use_emq and self.emq is not None and self.emq.is_full:
+            if emq is not None and emq.is_full:
                 # Runahead depth is bounded by the EMQ: the core waits for the
                 # stalling load once the queue fills up (Section 3.3).
                 break
             hit = self._lookup_and_learn(uop)
             if hit:
-                if dispatched_hits >= core.config.pipeline_width:
+                if dispatched_hits >= pipeline_width:
                     break
                 if not self._can_dispatch_runahead(uop):
                     # Not enough free resources (issue queue, registers or
                     # PRDQ): stall runahead dispatch until some are reclaimed.
                     break
-                core.frontend.pop_uops(1, cycle)
-                if self.use_emq and self.emq is not None:
-                    self.emq.append(entry)
-                    core.stats.events.emq_writes += 1
+                queue.popleft()
+                if emq is not None:
+                    emq.append(entry)
+                    events.emq_writes += 1
                 instr = core.rename_and_dispatch(entry, runahead=True, enter_rob=False)
                 self._record_runahead_instr(instr)
                 dispatched_hits += 1
             else:
-                core.frontend.pop_uops(1, cycle)
-                if self.use_emq and self.emq is not None:
-                    self.emq.append(entry)
-                    core.stats.events.emq_writes += 1
+                queue.popleft()
+                if emq is not None:
+                    emq.append(entry)
+                    events.emq_writes += 1
                 self._discard_runahead_uop(entry, cycle)
             consumed += 1
         return consumed

@@ -114,14 +114,17 @@ class TraditionalRunaheadController(RunaheadController):
         """
         core = self.core
         assert core is not None
+        queue = core.frontend.uop_queue
+        width = core.config.pipeline_width
+        core_cycle = core.cycle
         dispatched = 0
-        while dispatched < core.config.pipeline_width:
-            entry = core.frontend.peek()
-            if entry is None or entry.ready_cycle > core.cycle:
+        while dispatched < width and queue:
+            entry = queue[0]
+            if entry.ready_cycle > core_cycle:
                 break
             if not core._can_dispatch(entry.uop):
                 break
-            core.frontend.pop_uops(1, core.cycle)
+            queue.popleft()
             core.rename_and_dispatch(entry, runahead=True, enter_rob=True)
             dispatched += 1
         return dispatched

@@ -82,16 +82,21 @@ class SetAssociativeCache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
+        # Geometry constants, denormalised out of the (frozen) config so the
+        # per-access address split costs two integer ops, not two property
+        # evaluations with a division each.
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
         # One ordered dict per set: tag -> dirty bit, ordered from LRU to MRU.
         self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
 
     def _index_and_tag(self, addr: int) -> Tuple[int, int]:
-        line = addr // self.config.line_bytes
-        return line % self.config.num_sets, line // self.config.num_sets
+        line = addr // self._line_bytes
+        return line % self._num_sets, line // self._num_sets
 
     def line_address(self, addr: int) -> int:
         """Return the base address of the line containing ``addr``."""
-        return (addr // self.config.line_bytes) * self.config.line_bytes
+        return (addr // self._line_bytes) * self._line_bytes
 
     def contains(self, addr: int) -> bool:
         """Check residency without updating LRU state or statistics."""
@@ -104,15 +109,19 @@ class SetAssociativeCache:
         Returns True on a hit.  On a hit, a write marks the line dirty.  A
         miss does not allocate; callers decide whether to :meth:`fill`.
         """
-        self.stats.accesses += 1
-        index, tag = self._index_and_tag(addr)
+        stats = self.stats
+        stats.accesses += 1
+        line = addr // self._line_bytes
+        index = line % self._num_sets
         ways = self._sets.get(index)
-        if ways is not None and tag in ways:
-            self.stats.hits += 1
-            dirty = ways.pop(tag)
-            ways[tag] = dirty or is_write
-            return True
-        self.stats.misses += 1
+        if ways is not None:
+            tag = line // self._num_sets
+            if tag in ways:
+                stats.hits += 1
+                dirty = ways.pop(tag)
+                ways[tag] = dirty or is_write
+                return True
+        stats.misses += 1
         return False
 
     def fill(self, addr: int, dirty: bool = False, is_prefetch: bool = False) -> Optional[int]:

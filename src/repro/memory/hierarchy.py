@@ -74,9 +74,13 @@ class RequestKind(enum.Enum):
         return self is RequestKind.IFETCH
 
 
-@dataclass(frozen=True)
 class AccessResult:
     """Outcome of a memory access.
+
+    A ``__slots__`` value class, immutable by convention: one used to be
+    allocated per access, but L1 hits (~95% of accesses) now return a
+    preallocated shared instance (see :attr:`MemoryHierarchy._l1d_hit`), so
+    treat results as read-only.
 
     Attributes
     ----------
@@ -95,13 +99,40 @@ class AccessResult:
         entry frees.
     """
 
-    latency: int
-    level: MemoryLevel
-    is_long_latency: bool = False
-    retried: bool = False
+    __slots__ = ("latency", "level", "is_long_latency", "retried")
+
+    def __init__(
+        self,
+        latency: int,
+        level: MemoryLevel,
+        is_long_latency: bool = False,
+        retried: bool = False,
+    ) -> None:
+        self.latency = latency
+        self.level = level
+        self.is_long_latency = is_long_latency
+        self.retried = retried
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessResult):
+            return NotImplemented
+        return (
+            self.latency == other.latency
+            and self.level is other.level
+            and self.is_long_latency == other.is_long_latency
+            and self.retried == other.retried
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.latency, self.level, self.is_long_latency, self.retried))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AccessResult(latency={self.latency}, level={self.level!r}, "
+            f"is_long_latency={self.is_long_latency}, retried={self.retried})"
+        )
 
 
-@dataclass
 class _FillTransaction:
     """An in-flight line fill: where it installs, when, and how.
 
@@ -111,11 +142,21 @@ class _FillTransaction:
     (write-allocate stores dirty the L1D; outer copies stay clean).
     """
 
-    completion: int
-    line_addr: int
-    levels: Tuple[SetAssociativeCache, ...]
-    dirty: bool = False
-    is_prefetch: bool = False
+    __slots__ = ("completion", "line_addr", "levels", "dirty", "is_prefetch")
+
+    def __init__(
+        self,
+        completion: int,
+        line_addr: int,
+        levels: Tuple[SetAssociativeCache, ...],
+        dirty: bool = False,
+        is_prefetch: bool = False,
+    ) -> None:
+        self.completion = completion
+        self.line_addr = line_addr
+        self.levels = levels
+        self.dirty = dirty
+        self.is_prefetch = is_prefetch
 
 
 @dataclass
@@ -173,6 +214,10 @@ class MemoryHierarchy:
         self.dram = DRAMModel(self.config.dram)
         self.mshrs = MSHRFile(self.config.mshr_entries, self.config.l1d.line_bytes)
         self.stats = HierarchyStats()
+        # Shared, immutable hit results: an L1 hit is ~95% of traffic and its
+        # outcome is a constant of the configuration, so hits allocate nothing.
+        self._l1d_hit = AccessResult(self.config.l1d.latency, MemoryLevel.L1D)
+        self._l1i_hit = AccessResult(self.config.l1i.latency, MemoryLevel.L1I)
         # Due-date ordered fill transactions: (completion, seq, transaction).
         # This is transaction *payload* (which caches to touch); the MSHR file
         # alone answers "is this line outstanding?".
@@ -212,8 +257,11 @@ class MemoryHierarchy:
         cascading their writebacks) as it lands.  The matching MSHR entries
         expire lazily inside the MSHR file at the same completion cycles.
         """
-        while self._fill_queue and self._fill_queue[0][0] <= cycle:
-            _, _, txn = heapq.heappop(self._fill_queue)
+        fill_queue = self._fill_queue
+        if not fill_queue or fill_queue[0][0] > cycle:
+            return
+        while fill_queue and fill_queue[0][0] <= cycle:
+            _, _, txn = heapq.heappop(fill_queue)
             innermost = txn.levels[-1]
             for cache in txn.levels:
                 self._install(
@@ -253,24 +301,29 @@ class MemoryHierarchy:
         behave like loads but are dropped (``retried=True``) rather than
         stalled when the MSHR file reaches the prefetch limit.
         """
-        self.stats.data_accesses += 1
+        stats = self.stats
+        stats.data_accesses += 1
         if is_prefetch:
-            self.stats.prefetch_accesses += 1
+            stats.prefetch_accesses += 1
         self._expire_inflight(cycle)
 
-        entry = self.mshrs.merge(addr, cycle)
-        if entry is not None:
-            if is_write:
-                self._mark_pending_dirty(addr)
-            remaining = max(entry.completion_cycle - cycle, 1)
-            latency = max(remaining, self.config.l1d.latency)
-            if entry.is_dram:
-                self.stats.long_latency_accesses += 1
-            return AccessResult(latency, MemoryLevel.INFLIGHT, is_long_latency=entry.is_dram)
+        if self.mshrs._inflight:
+            entry = self.mshrs.merge(addr, cycle)
+            if entry is not None:
+                if is_write:
+                    self._mark_pending_dirty(addr)
+                remaining = max(entry.completion_cycle - cycle, 1)
+                latency = max(remaining, self.config.l1d.latency)
+                if entry.is_dram:
+                    stats.long_latency_accesses += 1
+                return AccessResult(
+                    latency, MemoryLevel.INFLIGHT, is_long_latency=entry.is_dram
+                )
 
         if self.l1d.lookup(addr, is_write=is_write):
-            self._train_prefetcher(pc, addr, cycle)
-            return AccessResult(self.config.l1d.latency, MemoryLevel.L1D)
+            if self.prefetcher is not None:
+                self._train_prefetcher(pc, addr, cycle)
+            return self._l1d_hit
 
         if is_prefetch:
             kind = RequestKind.RUNAHEAD_PREFETCH
@@ -279,7 +332,7 @@ class MemoryHierarchy:
         else:
             kind = RequestKind.LOAD
         result = self._miss_path(addr, cycle, kind)
-        if not result.retried:
+        if self.prefetcher is not None and not result.retried:
             self._train_prefetcher(pc, addr, cycle)
         return result
 
@@ -293,13 +346,16 @@ class MemoryHierarchy:
         """
         self.stats.instruction_accesses += 1
         self._expire_inflight(cycle)
-        entry = self.mshrs.merge(pc, cycle)
-        if entry is not None:
-            remaining = max(entry.completion_cycle - cycle, 1)
-            latency = max(remaining, self.config.l1i.latency)
-            return AccessResult(latency, MemoryLevel.INFLIGHT, is_long_latency=entry.is_dram)
+        if self.mshrs._inflight:
+            entry = self.mshrs.merge(pc, cycle)
+            if entry is not None:
+                remaining = max(entry.completion_cycle - cycle, 1)
+                latency = max(remaining, self.config.l1i.latency)
+                return AccessResult(
+                    latency, MemoryLevel.INFLIGHT, is_long_latency=entry.is_dram
+                )
         if self.l1i.lookup(pc):
-            return AccessResult(self.config.l1i.latency, MemoryLevel.L1I)
+            return self._l1i_hit
         return self._miss_path(pc, cycle, RequestKind.IFETCH)
 
     # -------------------------------------------------------------- miss path

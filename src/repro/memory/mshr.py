@@ -13,12 +13,21 @@ prefetch — allocates exactly one entry here, and the entry lives exactly as
 long as the fill is outstanding.  Entries carry the metadata merging requests
 need (:attr:`MSHREntry.is_dram` marks off-chip fills, the class of loads that
 cause full-window stalls in the paper).
+
+Expiry is driven by a completion-ordered heap rather than a full scan of the
+entry dictionary: the file is consulted on *every* memory access (the vast
+majority of which are L1 hits with nothing outstanding), so the common case
+must be a single heap-top comparison, not an O(entries) sweep.  Heap items
+may be stale — :meth:`allocate` records a provisional completion that
+:meth:`update` later finalises — and are lazily re-queued when popped, which
+preserves the invariant of exactly one live heap item per outstanding line.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import List, Optional, Tuple
 
 
 @dataclass
@@ -31,7 +40,6 @@ class MSHRStats:
     peak_occupancy: int = 0
 
 
-@dataclass
 class MSHREntry:
     """One outstanding line fill.
 
@@ -44,8 +52,14 @@ class MSHREntry:
         this as their ``is_long_latency``.
     """
 
-    completion_cycle: int
-    is_dram: bool = False
+    __slots__ = ("completion_cycle", "is_dram")
+
+    def __init__(self, completion_cycle: int, is_dram: bool = False) -> None:
+        self.completion_cycle = completion_cycle
+        self.is_dram = is_dram
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MSHREntry(completion_cycle={self.completion_cycle}, is_dram={self.is_dram})"
 
 
 class MSHRFile:
@@ -58,19 +72,35 @@ class MSHRFile:
         self.line_bytes = line_bytes
         self.stats = MSHRStats()
         # line number -> outstanding fill record
-        self._inflight: Dict[int, MSHREntry] = {}
+        self._inflight: dict = {}
+        # (recorded completion, line) — possibly stale; exactly one live item
+        # per outstanding line (stale items re-queue when popped).
+        self._expiry: List[Tuple[int, int]] = []
 
     def _line(self, addr: int) -> int:
         return addr // self.line_bytes
 
     def _expire(self, cycle: int) -> None:
-        expired = [
-            line
-            for line, entry in self._inflight.items()
-            if entry.completion_cycle <= cycle
-        ]
-        for line in expired:
-            del self._inflight[line]
+        """Drop every entry whose fill completed by ``cycle``.
+
+        Completion cycles only ever move *forward* (a provisional entry is
+        finalised to its real, later completion by :meth:`update`), so a
+        popped heap item whose entry is still live is simply re-queued at
+        the entry's current completion.
+        """
+        heap = self._expiry
+        if not heap or heap[0][0] > cycle:
+            return
+        inflight = self._inflight
+        while heap and heap[0][0] <= cycle:
+            _, line = heappop(heap)
+            entry = inflight.get(line)
+            if entry is None:
+                continue
+            if entry.completion_cycle <= cycle:
+                del inflight[line]
+            else:
+                heappush(heap, (entry.completion_cycle, line))
 
     def occupancy(self, cycle: int) -> int:
         """Number of fills still outstanding at ``cycle``."""
@@ -84,7 +114,7 @@ class MSHRFile:
     def lookup(self, addr: int, cycle: int) -> Optional[MSHREntry]:
         """The outstanding fill covering ``addr``, without counting a merge."""
         self._expire(cycle)
-        return self._inflight.get(self._line(addr))
+        return self._inflight.get(addr // self.line_bytes)
 
     def outstanding_completion(self, addr: int, cycle: int) -> Optional[int]:
         """Completion cycle of an in-flight fill covering ``addr``, or ``None``."""
@@ -94,9 +124,20 @@ class MSHRFile:
     def earliest_completion(self, cycle: int) -> Optional[int]:
         """Completion cycle of the next entry to free, or ``None`` when empty."""
         self._expire(cycle)
-        if not self._inflight:
-            return None
-        return min(entry.completion_cycle for entry in self._inflight.values())
+        heap = self._expiry
+        inflight = self._inflight
+        while heap:
+            completion, line = heap[0]
+            entry = inflight.get(line)
+            if entry is None:
+                heappop(heap)
+                continue
+            if entry.completion_cycle != completion:
+                heappop(heap)
+                heappush(heap, (entry.completion_cycle, line))
+                continue
+            return completion
+        return None
 
     def allocate(
         self,
@@ -117,24 +158,35 @@ class MSHRFile:
         retry later.
         """
         self._expire(cycle)
-        line = self._line(addr)
-        if line in self._inflight:
-            self.stats.merges += 1
+        line = addr // self.line_bytes
+        inflight = self._inflight
+        stats = self.stats
+        if line in inflight:
+            stats.merges += 1
             return True
         cap = self.num_entries if limit is None else min(limit, self.num_entries)
-        if len(self._inflight) >= cap:
-            self.stats.full_rejections += 1
+        if len(inflight) >= cap:
+            stats.full_rejections += 1
             return False
-        self._inflight[line] = MSHREntry(completion_cycle, is_dram)
-        self.stats.allocations += 1
-        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._inflight))
+        inflight[line] = MSHREntry(completion_cycle, is_dram)
+        heappush(self._expiry, (completion_cycle, line))
+        stats.allocations += 1
+        if len(inflight) > stats.peak_occupancy:
+            stats.peak_occupancy = len(inflight)
         return True
 
     def update(self, addr: int, completion_cycle: int, is_dram: bool) -> None:
         """Finalise a provisional entry once the miss path has its latency."""
-        entry = self._inflight.get(self._line(addr))
+        line = addr // self.line_bytes
+        entry = self._inflight.get(line)
         if entry is None:
             raise KeyError(f"no outstanding MSHR entry for address {addr:#x}")
+        if completion_cycle < entry.completion_cycle:
+            # Completions normally only move later (provisional -> real), but
+            # a zero-latency cache configuration can finalise *earlier* than
+            # the provisional heap item; queue a fresh item so expiry never
+            # runs late.  Duplicate heap items are tolerated by the lazy pops.
+            heappush(self._expiry, (completion_cycle, line))
         entry.completion_cycle = completion_cycle
         entry.is_dram = is_dram
 
@@ -148,3 +200,4 @@ class MSHRFile:
     def clear(self) -> None:
         """Drop all outstanding entries (used when resetting the hierarchy)."""
         self._inflight.clear()
+        self._expiry.clear()

@@ -27,7 +27,6 @@ through those scheduled events.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.memory.hierarchy import MemoryHierarchy
@@ -43,7 +42,7 @@ from repro.uarch.rename import RegisterAliasTable, RetirementRAT
 from repro.uarch.rob import ReorderBuffer
 from repro.uarch.stats import CoreStats, RunaheadInterval
 from repro.workloads.source import MaterializedTrace, TraceSource, as_source
-from repro.workloads.trace import MicroOp, Trace, UopClass, is_fp_reg
+from repro.workloads.trace import FP_REG_BASE, MicroOp, Trace, UopClass, is_fp_reg
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.base import RunaheadController
@@ -60,28 +59,73 @@ class SimulationDeadlock(RuntimeError):
     """Raised when the simulation can make no further progress."""
 
 
-@dataclass
 class DynInstr:
-    """A dynamic (renamed, in-flight) instruction."""
+    """A dynamic (renamed, in-flight) instruction.
 
-    uop: MicroOp
-    seq: int
-    runahead: bool = False
-    src_ops: Tuple[Tuple[bool, int], ...] = ()
-    dest_is_fp: Optional[bool] = None
-    dest_preg: Optional[int] = None
-    prev_preg: Optional[int] = None
-    predicted_taken: bool = False
-    dispatch_cycle: int = 0
-    earliest_issue_cycle: int = 0
-    issued: bool = False
-    completed: bool = False
-    squashed: bool = False
-    poisoned: bool = False
-    long_latency: bool = False
-    in_lsq: bool = False
-    issue_cycle: Optional[int] = None
-    completion_cycle: Optional[int] = None
+    A ``__slots__`` class: tens of thousands are constructed per simulated
+    kilocycle and their flags are read in every stage loop, so neither
+    ``__dict__`` storage nor dataclass construction overhead is acceptable.
+    ``is_load``/``is_store`` mirror the micro-op's precomputed kind flags so
+    the issue-select loop reads one attribute instead of two.  Equality is
+    identity (each dynamic instance is unique in flight).
+    """
+
+    __slots__ = (
+        "uop",
+        "seq",
+        "runahead",
+        "src_ops",
+        "dest_is_fp",
+        "dest_preg",
+        "prev_preg",
+        "predicted_taken",
+        "dispatch_cycle",
+        "earliest_issue_cycle",
+        "issued",
+        "completed",
+        "squashed",
+        "poisoned",
+        "long_latency",
+        "in_lsq",
+        "issue_cycle",
+        "completion_cycle",
+        "is_load",
+        "is_store",
+    )
+
+    def __init__(
+        self,
+        uop: MicroOp,
+        seq: int,
+        runahead: bool = False,
+        src_ops: Tuple[Tuple[bool, int], ...] = (),
+        dest_is_fp: Optional[bool] = None,
+        dest_preg: Optional[int] = None,
+        prev_preg: Optional[int] = None,
+        predicted_taken: bool = False,
+        dispatch_cycle: int = 0,
+        earliest_issue_cycle: int = 0,
+    ) -> None:
+        self.uop = uop
+        self.seq = seq
+        self.runahead = runahead
+        self.src_ops = src_ops
+        self.dest_is_fp = dest_is_fp
+        self.dest_preg = dest_preg
+        self.prev_preg = prev_preg
+        self.predicted_taken = predicted_taken
+        self.dispatch_cycle = dispatch_cycle
+        self.earliest_issue_cycle = earliest_issue_cycle
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.poisoned = False
+        self.long_latency = False
+        self.in_lsq = False
+        self.issue_cycle: Optional[int] = None
+        self.completion_cycle: Optional[int] = None
+        self.is_load = uop.is_load
+        self.is_store = uop.is_store
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(
@@ -205,11 +249,23 @@ class OoOCore:
         """Simulate until the whole trace commits (or ``max_cycles`` elapse)."""
         cursor = self.frontend.cursor
         probes_skipped = self.probes.cycles_skipped
-        while not self.finished:
+        stats = self.stats
+        step = self.step
+        last_committed = self.committed_trace_uops
+        while True:
+            total = cursor.known_length
+            committed = self.committed_trace_uops
+            if total is not None and committed >= total:
+                break
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
-            progress = self.step()
-            cursor.trim(self.committed_trace_uops)
+            progress = step()
+            committed = self.committed_trace_uops
+            if committed != last_committed:
+                # Only a cycle that actually retired micro-ops can advance the
+                # cursor's trim floor; skip the call on all other iterations.
+                cursor.trim(committed)
+                last_committed = committed
             if progress:
                 self.cycle += 1
                 continue
@@ -224,9 +280,9 @@ class OoOCore:
                 wake = min(wake, max_cycles)
             skipped = max(wake, self.cycle + 1) - self.cycle
             if self._in_full_window_stall():
-                self.stats.full_window_stall_cycles += skipped - 1
+                stats.full_window_stall_cycles += skipped - 1
             if self.mode == ExecutionMode.RUNAHEAD:
-                self.stats.runahead_cycles += skipped - 1
+                stats.runahead_cycles += skipped - 1
             if probes_skipped and skipped > 1:
                 # The no-progress cycle itself already fired on_cycle inside
                 # step(); the span covers only the fast-forwarded remainder.
@@ -243,46 +299,61 @@ class OoOCore:
 
     def step(self) -> bool:
         """Execute one cycle; return whether any stage made progress."""
+        cycle = self.cycle
         progress = 0
-        progress += self._writeback()
+        if self._events and self._events[0][0] <= cycle:
+            progress += self._writeback()
         progress += self._commit()
-        progress += self._issue()
+        if self.iq._entries:
+            progress += self._issue()
         progress += self._dispatch()
-        progress += self._fetch()
-        if self.controller is not None:
-            progress += self.controller.tick(self.cycle)
-        self._check_full_window_stall()
-        if self._in_full_window_stall():
-            self.stats.full_window_stall_cycles += 1
+        progress += self.frontend.tick(cycle)
+        controller = self.controller
+        if controller is not None:
+            progress += controller.tick(cycle)
+        # One evaluation serves both the new-stall edge detection and the
+        # stall-cycle accounting (this used to be computed twice per step).
+        stalled = self._in_full_window_stall()
+        self._check_full_window_stall(stalled)
+        stats = self.stats
+        if stalled:
+            stats.full_window_stall_cycles += 1
         if self.mode == ExecutionMode.RUNAHEAD:
-            self.stats.runahead_cycles += 1
+            stats.runahead_cycles += 1
         if self.probes.cycle:
             for probe in self.probes.cycle:
-                probe.on_cycle(self, self.cycle)
+                probe.on_cycle(self, cycle)
         return progress > 0
 
     # -------------------------------------------------------------- writeback
 
     def _writeback(self) -> int:
         count = 0
-        while self._events and self._events[0][0] <= self.cycle:
-            _, _, instr = heapq.heappop(self._events)
+        events = self.stats.events
+        events_heap = self._events
+        cycle = self.cycle
+        heappop = heapq.heappop
+        controller = self.controller
+        while events_heap and events_heap[0][0] <= cycle:
+            _, _, instr = heappop(events_heap)
             if instr.squashed:
                 continue
             instr.completed = True
             if instr.dest_preg is not None:
-                self.regfile_for(bool(instr.dest_is_fp)).set_ready(instr.dest_preg)
-                self.stats.events.regfile_writes += 1
-                self.stats.events.iq_wakeups += 1
-            if instr.uop.is_branch:
-                mispredicted = instr.predicted_taken != instr.uop.branch_taken
-                self.predictor.update(instr.uop.pc, instr.uop.branch_taken, instr.predicted_taken)
-                self.frontend.branch_resolved(instr.seq, self.cycle, mispredicted)
-            self.stats.events.executed_uops += 1
+                regfile = self.fp_rf if instr.dest_is_fp else self.int_rf
+                regfile._ready[instr.dest_preg] = True
+                events.regfile_writes += 1
+                events.iq_wakeups += 1
+            uop = instr.uop
+            if uop.is_branch:
+                mispredicted = instr.predicted_taken != uop.branch_taken
+                self.predictor.update(uop.pc, uop.branch_taken, instr.predicted_taken)
+                self.frontend.branch_resolved(instr.seq, cycle, mispredicted)
+            events.executed_uops += 1
             if instr.runahead:
                 self.stats.runahead_uops_executed += 1
-            if self.controller is not None:
-                self.controller.on_complete(instr, self.cycle)
+            if controller is not None:
+                controller.on_complete(instr, cycle)
             count += 1
         return count
 
@@ -303,45 +374,52 @@ class OoOCore:
             return 0
         committed = 0
         self._store_commit_stalled = False
-        while committed < self.config.pipeline_width:
-            head = self.rob.head()
-            if head is None or not head.completed:
+        entries = self.rob._entries
+        width = self.config.pipeline_width
+        cycle = self.cycle
+        while committed < width:
+            if not entries:
+                break
+            head = entries[0]
+            if not head.completed:
                 break
             store_result = None
-            if head.uop.is_store:
+            if head.is_store:
                 store_result = self.hierarchy.access_data(
-                    head.uop.mem_addr, self.cycle, is_write=True, pc=head.uop.pc
+                    head.uop.mem_addr, cycle, is_write=True, pc=head.uop.pc
                 )
                 if store_result.retried:
                     # No MSHR entry for the store's write-allocate: the store
                     # stays at the ROB head and commit retries when one frees.
                     self._store_commit_stalled = True
                     break
-            self.rob.pop_head()
+            entries.popleft()
             self._commit_instr(head, store_result)
             committed += 1
         return committed
 
     def _commit_instr(self, instr: DynInstr, store_result=None) -> None:
+        stats = self.stats
         if instr.dest_preg is not None and instr.uop.dst is not None:
             self.retirement_rat.commit(instr.uop.dst, instr.dest_preg)
             if instr.prev_preg is not None:
-                regfile = self.regfile_for(bool(instr.dest_is_fp))
+                regfile = self.fp_rf if instr.dest_is_fp else self.int_rf
                 if regfile.is_allocated(instr.prev_preg):
                     regfile.free(instr.prev_preg)
-        if instr.uop.is_store:
-            self.stats.committed_stores += 1
+        if instr.is_store:
+            stats.committed_stores += 1
             if self.probes.mem_access and store_result is not None:
                 for probe in self.probes.mem_access:
                     probe.on_mem_access(self, instr, store_result, self.cycle)
-        if instr.uop.is_load:
-            self.stats.committed_loads += 1
+        elif instr.is_load:
+            stats.committed_loads += 1
         if instr.in_lsq:
             self.lsq.release(instr)
         self.committed_trace_uops += 1
-        self.stats.committed_uops += 1
-        self.stats.events.committed_uops += 1
-        self.stats.events.rob_reads += 1
+        stats.committed_uops += 1
+        events = stats.events
+        events.committed_uops += 1
+        events.rob_reads += 1
         if self.probes.commit:
             for probe in self.probes.commit:
                 probe.on_commit(self, instr, self.cycle)
@@ -378,13 +456,26 @@ class OoOCore:
     # ------------------------------------------------------------------ issue
 
     def _operand_ready(self, instr: DynInstr) -> bool:
-        for is_fp, preg in instr.src_ops:
-            if self.regfile_for(is_fp).is_ready(preg):
+        """Reference implementation of the operand-readiness rule.
+
+        The hot path (:meth:`_issue`) uses per-cycle closures that must stay
+        semantically identical to this method; keep the two in sync.
+        """
+        src_ops = instr.src_ops
+        if not src_ops:
+            return True
+        int_ready = self.int_rf._ready
+        fp_ready = self.fp_rf._ready
+        poisoned = self.poisoned_pregs
+        controller = self.controller
+        for op in src_ops:
+            is_fp, preg = op
+            if fp_ready[preg] if is_fp else int_ready[preg]:
                 continue
             if (
-                (is_fp, preg) in self.poisoned_pregs
-                and self.controller is not None
-                and self.controller.treat_poison_as_ready(instr)
+                op in poisoned
+                and controller is not None
+                and controller.treat_poison_as_ready(instr)
             ):
                 continue
             return False
@@ -396,33 +487,66 @@ class OoOCore:
         return any((is_fp, preg) in self.poisoned_pregs for is_fp, preg in instr.src_ops)
 
     def _issue(self) -> int:
+        cycle = self.cycle
+        int_ready = self.int_rf._ready
+        fp_ready = self.fp_rf._ready
+        poisoned = self.poisoned_pregs
+        if poisoned:
+            controller = self.controller
+            treat = (
+                controller.treat_poison_as_ready if controller is not None else None
+            )
+
+            def operand_ready(instr: DynInstr) -> bool:
+                for op in instr.src_ops:
+                    is_fp, preg = op
+                    if fp_ready[preg] if is_fp else int_ready[preg]:
+                        continue
+                    if treat is not None and op in poisoned and treat(instr):
+                        continue
+                    return False
+                return True
+
+        else:
+            # Poison-free fast path (every cycle outside runahead mode): the
+            # readiness rule collapses to raw ready-bit reads, with no
+            # controller consultation and no set membership tests.
+            def operand_ready(instr: DynInstr) -> bool:
+                for is_fp, preg in instr.src_ops:
+                    if not (fp_ready[preg] if is_fp else int_ready[preg]):
+                        return False
+                return True
+
         selected = self.iq.select_ready(
-            self.cycle,
+            cycle,
             self.config.pipeline_width,
-            self._operand_ready,
+            operand_ready,
             self.config.max_loads_per_cycle,
             self.config.max_stores_per_cycle,
         )
         issued = 0
+        events = self.stats.events
         for instr in selected:
-            poisoned = instr.poisoned or self._has_poisoned_source(instr)
-            if instr.uop.is_load and not poisoned:
+            # Named instr_poisoned, not poisoned: the operand_ready closure
+            # above captures `poisoned` (the preg set) as a free variable.
+            instr_poisoned = instr.poisoned or self._has_poisoned_source(instr)
+            if instr.is_load and not instr_poisoned:
                 latency = self._issue_load(instr)
                 if latency is None:
                     continue  # MSHR full: retry in a later cycle.
             else:
                 latency = execution_latency(instr.uop.uop_class)
-                if instr.uop.is_load:
+                if instr.is_load:
                     instr.poisoned = True
-            if poisoned and instr.dest_preg is not None:
+            if instr_poisoned and instr.dest_preg is not None:
                 self.poisoned_pregs.add((bool(instr.dest_is_fp), instr.dest_preg))
                 instr.poisoned = True
             self.iq.remove(instr)
             instr.issued = True
-            instr.issue_cycle = self.cycle
-            self.schedule_completion(instr, self.cycle + latency)
-            self.stats.events.issued_uops += 1
-            self.stats.events.regfile_reads += len(instr.src_ops)
+            instr.issue_cycle = cycle
+            self.schedule_completion(instr, cycle + latency)
+            events.issued_uops += 1
+            events.regfile_reads += len(instr.src_ops)
             issued += 1
         return issued
 
@@ -459,20 +583,29 @@ class OoOCore:
     def _dispatch(self) -> int:
         if self.mode == ExecutionMode.RUNAHEAD and self.controller is not None:
             return self.controller.runahead_dispatch(self.cycle)
+        queue = self.frontend.uop_queue
+        if not queue:
+            return 0
+        cycle = self.cycle
         dispatched = 0
-        while dispatched < self.config.pipeline_width:
-            entry = self.frontend.peek()
-            if entry is None or entry.ready_cycle > self.cycle:
+        width = self.config.pipeline_width
+        while dispatched < width and queue:
+            entry = queue[0]
+            if entry.ready_cycle > cycle:
                 break
             if not self._can_dispatch(entry.uop):
                 break
-            self.frontend.pop_uops(1, self.cycle)
+            queue.popleft()
             self.rename_and_dispatch(entry, runahead=False)
             dispatched += 1
         return dispatched
 
     def _can_dispatch(self, uop: MicroOp) -> bool:
-        if self.rob.is_full or self.iq.is_full:
+        rob = self.rob
+        if len(rob._entries) >= rob.capacity:
+            return False
+        iq = self.iq
+        if len(iq._entries) >= iq.capacity:
             return False
         if uop.is_memory and not self.lsq.can_dispatch_uop(uop):
             return False
@@ -498,15 +631,20 @@ class OoOCore:
         uop = entry.uop
         if self.controller is not None:
             self.controller.on_decode(uop, runahead)
-        src_ops = tuple((is_fp_reg(reg), self.rat.physical(reg)) for reg in uop.srcs)
+        rat = self.rat
+        rat_entries = rat._entries
+        src_ops = tuple(
+            [(reg >= FP_REG_BASE, rat_entries[reg].physical) for reg in uop.srcs]
+        )
         dest_is_fp: Optional[bool] = None
         dest_preg: Optional[int] = None
         prev_preg: Optional[int] = None
         if uop.dst is not None:
-            dest_is_fp = is_fp_reg(uop.dst)
-            dest_preg = self.regfile_for(dest_is_fp).allocate()
-            previous = self.rat.rename(uop.dst, dest_preg, uop.pc)
+            dest_is_fp = uop.dst >= FP_REG_BASE
+            dest_preg = (self.fp_rf if dest_is_fp else self.int_rf).allocate()
+            previous = rat.rename(uop.dst, dest_preg, uop.pc)
             prev_preg = previous.physical
+        cycle = self.cycle
         instr = DynInstr(
             uop=uop,
             seq=entry.seq,
@@ -516,49 +654,50 @@ class OoOCore:
             dest_preg=dest_preg,
             prev_preg=prev_preg,
             predicted_taken=entry.predicted_taken,
-            dispatch_cycle=self.cycle,
-            earliest_issue_cycle=self.cycle + 1,
+            dispatch_cycle=cycle,
+            earliest_issue_cycle=cycle + 1,
         )
-        self.stats.events.renamed_uops += 1
-        self.stats.events.dispatched_uops += 1
-        self.stats.events.iq_writes += 1
+        events = self.stats.events
+        events.renamed_uops += 1
+        events.dispatched_uops += 1
+        events.iq_writes += 1
         if enter_rob:
             self.rob.push(instr)
-            self.stats.events.rob_writes += 1
+            events.rob_writes += 1
             if uop.is_memory:
                 self.lsq.dispatch(instr)
                 instr.in_lsq = True
         self.iq.insert(instr)
         return instr
 
-    # ------------------------------------------------------------------ fetch
-
-    def _fetch(self) -> int:
-        return self.frontend.tick(self.cycle)
-
     # -------------------------------------------------- full-window stalls
 
     def _in_full_window_stall(self) -> bool:
-        head = self.rob.head()
-        return (
-            self.rob.is_full
-            and head is not None
-            and head.uop.is_load
-            and head.issued
-            and not head.completed
-            and head.long_latency
-        )
+        rob = self.rob
+        entries = rob._entries
+        if len(entries) < rob.capacity:
+            return False
+        head = entries[0]
+        return head.is_load and head.issued and not head.completed and head.long_latency
 
     @property
     def in_full_window_stall(self) -> bool:
         """Whether the ROB is full behind an outstanding long-latency load."""
         return self._in_full_window_stall()
 
-    def _check_full_window_stall(self) -> None:
-        head = self.rob.head()
-        if not self._in_full_window_stall():
+    def _check_full_window_stall(self, stalled: Optional[bool] = None) -> None:
+        """Detect the start of a new full-window stall.
+
+        ``stalled`` lets :meth:`step` pass its already-computed
+        :meth:`_in_full_window_stall` result instead of paying a second
+        evaluation per cycle; callers without one omit it.
+        """
+        if stalled is None:
+            stalled = self._in_full_window_stall()
+        if not stalled:
             self._current_stall_seq = None
             return
+        head = self.rob.head()
         assert head is not None
         if self._current_stall_seq == head.seq:
             return
@@ -636,8 +775,9 @@ class OoOCore:
         delivery = self.frontend.earliest_delivery_cycle()
         if delivery is not None:
             candidates.append(delivery)
-        if self.frontend._resume_cycle > self.cycle and not self.frontend.trace_exhausted:
-            candidates.append(self.frontend._resume_cycle)
+        resume = self.frontend.next_resume_cycle()
+        if resume is not None and resume > self.cycle:
+            candidates.append(resume)
         if self.controller is not None:
             wake = self.controller.next_wake_cycle(self.cycle)
             if wake is not None:

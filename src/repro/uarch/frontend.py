@@ -22,7 +22,6 @@ buffer's front-end power gating both plug in through small hooks
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, List, Optional, Union
 
 from repro.memory.hierarchy import MemoryHierarchy
@@ -33,14 +32,28 @@ from repro.workloads.source import TraceSource, as_source
 from repro.workloads.trace import MicroOp, Trace
 
 
-@dataclass
 class FetchedUop:
-    """A micro-op travelling through (or waiting after) the front-end."""
+    """A micro-op travelling through (or waiting after) the front-end.
 
-    seq: int
-    uop: MicroOp
-    ready_cycle: int
-    predicted_taken: bool = False
+    A ``__slots__`` class (one is created per fetched micro-op, on the
+    per-cycle fetch path); equality is identity.
+    """
+
+    __slots__ = ("seq", "uop", "ready_cycle", "predicted_taken")
+
+    def __init__(
+        self, seq: int, uop: MicroOp, ready_cycle: int, predicted_taken: bool = False
+    ) -> None:
+        self.seq = seq
+        self.uop = uop
+        self.ready_cycle = ready_cycle
+        self.predicted_taken = predicted_taken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FetchedUop(seq={self.seq}, uop={self.uop!r}, "
+            f"ready_cycle={self.ready_cycle}, predicted_taken={self.predicted_taken})"
+        )
 
 
 class FrontEnd:
@@ -106,6 +119,18 @@ class FrontEnd:
             return self._pipe[0].ready_cycle
         return None
 
+    def next_resume_cycle(self) -> Optional[int]:
+        """Cycle at which stalled fetch resumes, or ``None`` when fetch has
+        nothing left to do (trace exhausted).
+
+        This is the public wake-up candidate the core's idle-skip logic
+        consults; it covers redirect penalties, mispredict stalls and
+        MSHR-full instruction-fetch waits.
+        """
+        if self.trace_exhausted:
+            return None
+        return self._resume_cycle
+
     # ----------------------------------------------------------------- ticks
 
     def tick(self, cycle: int) -> int:
@@ -116,15 +141,16 @@ class FrontEnd:
 
     def _deliver(self, cycle: int) -> int:
         """Move decoded micro-ops whose pipeline delay has elapsed into the micro-op queue."""
+        pipe = self._pipe
+        if not pipe or pipe[0].ready_cycle > cycle:
+            return 0
+        queue = self.uop_queue
+        queue_size = self.config.uop_queue_size
+        events = self.stats.events
         delivered = 0
-        while (
-            self._pipe
-            and self._pipe[0].ready_cycle <= cycle
-            and len(self.uop_queue) < self.config.uop_queue_size
-        ):
-            entry = self._pipe.popleft()
-            self.uop_queue.append(entry)
-            self.stats.events.decoded_uops += 1
+        while pipe and pipe[0].ready_cycle <= cycle and len(queue) < queue_size:
+            queue.append(pipe.popleft())
+            events.decoded_uops += 1
             delivered += 1
         return delivered
 
@@ -134,35 +160,59 @@ class FrontEnd:
             return 0
         if self._stalled_on_branch_seq is not None:
             return 0
+        config = self.config
+        cursor = self.cursor
+        cursor_has = cursor.has
+        cursor_get = cursor.get
+        pipe = self._pipe
+        queue = self.uop_queue
+        events = self.stats.events
+        fetch_width = config.fetch_width
+        pipe_capacity = fetch_width * config.frontend_depth
+        total_budget = pipe_capacity + config.uop_queue_size
+        ready_base = cycle + config.frontend_depth
+        fetch_index = self.fetch_index
+        hierarchy = self.hierarchy
+        i_line_bytes = (
+            hierarchy.config.l1i.line_bytes if hierarchy is not None else None
+        )
         fetched = 0
-        pipe_capacity = self.config.fetch_width * self.config.frontend_depth
         while (
-            fetched < self.config.fetch_width
-            and not self.trace_exhausted
-            and len(self._pipe) + len(self.uop_queue) < pipe_capacity + self.config.uop_queue_size
-            and len(self._pipe) < pipe_capacity
+            fetched < fetch_width
+            and len(pipe) < pipe_capacity
+            and len(pipe) + len(queue) < total_budget
+            and cursor_has(fetch_index)
         ):
-            uop = self.cursor.get(self.fetch_index)
-            penalty = self._instruction_fetch_penalty(uop.pc, cycle)
-            if penalty is None:
-                # MSHR file full: fetch stalls (``_resume_cycle`` was pushed
-                # out) and this micro-op is retried after the wait.
-                break
-            seq = self.fetch_index
-            self.fetch_index += 1
-            ready = cycle + self.config.frontend_depth + penalty
-            entry = FetchedUop(seq=seq, uop=uop, ready_cycle=ready)
+            uop = cursor_get(fetch_index)
+            # Same-line fast path of _instruction_fetch_penalty, inlined:
+            # consecutive micro-ops overwhelmingly share a fetch line.
+            if (
+                i_line_bytes is None
+                or uop.pc // i_line_bytes == self._last_fetch_line
+            ):
+                penalty = 0
+            else:
+                penalty = self._instruction_fetch_penalty(uop.pc, cycle)
+                if penalty is None:
+                    # MSHR file full: fetch stalls (``_resume_cycle`` was
+                    # pushed out) and this micro-op is retried after the wait.
+                    break
+            seq = fetch_index
+            fetch_index += 1
+            self.fetch_index = fetch_index
+            entry = FetchedUop(seq, uop, ready_base + penalty)
             if uop.is_branch:
-                entry.predicted_taken = self.predictor.predict(uop.pc)
-                self.stats.events.branch_predictions += 1
-                if entry.predicted_taken != uop.branch_taken:
+                predicted = self.predictor.predict(uop.pc)
+                entry.predicted_taken = predicted
+                events.branch_predictions += 1
+                if predicted != uop.branch_taken:
                     self._stalled_on_branch_seq = seq
-                    self._pipe.append(entry)
-                    self.stats.events.fetched_uops += 1
+                    pipe.append(entry)
+                    events.fetched_uops += 1
                     fetched += 1
                     break
-            self._pipe.append(entry)
-            self.stats.events.fetched_uops += 1
+            pipe.append(entry)
+            events.fetched_uops += 1
             fetched += 1
         return fetched
 

@@ -10,20 +10,32 @@ at runahead entry.
 
 from __future__ import annotations
 
+import operator
 from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.uarch.core import DynInstr
 
+_SEQ_KEY = operator.attrgetter("seq")
+
 
 class IssueQueue:
-    """Bounded, age-ordered pool of not-yet-issued instructions."""
+    """Bounded, age-ordered pool of not-yet-issued instructions.
+
+    ``_entries`` is kept sorted by sequence number: dispatch almost always
+    inserts in age order, so instead of re-sorting the whole queue on every
+    :meth:`select_ready` call (the previous scheme — the single hottest
+    operation in the simulator), an out-of-order insert merely flags the list
+    and the rare lazy sort happens on the next select.  Removal never breaks
+    the ordering.
+    """
 
     def __init__(self, capacity: int = 92) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries: List["DynInstr"] = []
+        self._sorted = True
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -48,9 +60,12 @@ class IssueQueue:
 
     def insert(self, instr: "DynInstr") -> None:
         """Add a dispatched instruction to the queue."""
-        if self.is_full:
+        entries = self._entries
+        if len(entries) >= self.capacity:
             raise OverflowError("issue queue overflow")
-        self._entries.append(instr)
+        if entries and instr.seq < entries[-1].seq:
+            self._sorted = False
+        entries.append(instr)
 
     def remove(self, instr: "DynInstr") -> None:
         """Remove an instruction (at issue or squash)."""
@@ -71,35 +86,46 @@ class IssueQueue:
         are enforced here.  Selected instructions remain in the queue; the
         caller removes them once it actually issues them.
         """
+        entries = self._entries
+        if not entries:
+            return []
+        if not self._sorted:
+            entries.sort(key=_SEQ_KEY)
+            self._sorted = True
         selected: List["DynInstr"] = []
         loads = 0
         stores = 0
-        for instr in sorted(self._entries, key=lambda entry: entry.seq):
-            if len(selected) >= width:
-                break
+        count = 0
+        for instr in entries:
             if instr.earliest_issue_cycle > cycle:
                 continue
-            if instr.uop.is_load and loads >= max_loads:
-                continue
-            if instr.uop.is_store and stores >= max_stores:
+            if instr.is_load:
+                if loads >= max_loads:
+                    continue
+            elif instr.is_store and stores >= max_stores:
                 continue
             if not is_ready(instr):
                 continue
             selected.append(instr)
-            if instr.uop.is_load:
+            count += 1
+            if count >= width:
+                break
+            if instr.is_load:
                 loads += 1
-            elif instr.uop.is_store:
+            elif instr.is_store:
                 stores += 1
         return selected
 
     def squash(self, predicate: Callable[["DynInstr"], bool]) -> List["DynInstr"]:
         """Remove every entry matching ``predicate``; return the removed entries."""
         removed = [instr for instr in self._entries if predicate(instr)]
-        self._entries = [instr for instr in self._entries if not predicate(instr)]
+        if removed:
+            self._entries = [instr for instr in self._entries if not predicate(instr)]
         return removed
 
     def clear(self) -> List["DynInstr"]:
         """Remove all entries (pipeline flush)."""
         removed = self._entries
         self._entries = []
+        self._sorted = True
         return removed

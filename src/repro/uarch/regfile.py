@@ -10,8 +10,8 @@ Section 3.4 — is a direct property of this structure's occupancy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Set
+from collections import deque
+from typing import Deque, Optional, Set
 
 
 class OutOfPhysicalRegisters(RuntimeError):
@@ -28,8 +28,10 @@ class PhysicalRegisterFile:
         self.num_architectural = num_architectural
         self.name = name
         # Registers 0..num_architectural-1 hold architectural state at reset.
-        self._free: List[int] = list(range(num_architectural, num_registers))
-        self._ready: List[bool] = [True] * num_registers
+        # The free list is FIFO; a deque makes the hot allocate() O(1) where
+        # list.pop(0) shifted the whole backing array.
+        self._free: Deque[int] = deque(range(num_architectural, num_registers))
+        self._ready = [True] * num_registers
         self._allocated: Set[int] = set(range(num_architectural))
 
     # -------------------------------------------------------------- occupancy
@@ -61,7 +63,7 @@ class PhysicalRegisterFile:
         """
         if not self._free:
             raise OutOfPhysicalRegisters(f"{self.name} register file exhausted")
-        reg = self._free.pop(0)
+        reg = self._free.popleft()
         self._allocated.add(reg)
         self._ready[reg] = False
         return reg
@@ -105,7 +107,9 @@ class PhysicalRegisterFile:
             if not 0 <= reg < self.num_registers:
                 raise ValueError(f"register p{reg} out of range for {self.name} file")
         self._allocated = set(live_registers)
-        self._free = [reg for reg in range(self.num_registers) if reg not in self._allocated]
+        self._free = deque(
+            reg for reg in range(self.num_registers) if reg not in self._allocated
+        )
         self._ready = [False] * self.num_registers
         for reg in live_registers:
             self._ready[reg] = True

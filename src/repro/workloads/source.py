@@ -339,6 +339,14 @@ _FIXED = struct.Struct("<QBBBB")
 _MEM = struct.Struct("<QH")
 _TARGET = struct.Struct("<Q")
 
+#: Upper bound on one encoded record: fixed part, 255 source registers, and
+#: both optional payloads.  The block decoder refills its buffer whenever
+#: fewer bytes than this remain, so a record never straddles a refill.
+_MAX_RECORD_BYTES = _FIXED.size + 0xFF + _MEM.size + _TARGET.size
+
+#: Decompressed bytes pulled from the gzip stream per refill (~4k records).
+_DECODE_CHUNK_BYTES = 1 << 18
+
 
 def _encode_uop(uop: MicroOp) -> bytes:
     flags = 0
@@ -368,6 +376,8 @@ def _read_exact(stream: io.BufferedIOBase, size: int) -> bytes:
 
 
 def _decode_uop(stream: io.BufferedIOBase) -> MicroOp:
+    """Decode a single record with per-field reads (kept for diagnostics and
+    as the reference implementation the block decoder must match)."""
     pc, class_index, flags, dst, nsrcs = _FIXED.unpack(_read_exact(stream, _FIXED.size))
     srcs = tuple(_read_exact(stream, nsrcs)) if nsrcs else ()
     mem_addr = None
@@ -391,6 +401,81 @@ def _decode_uop(stream: io.BufferedIOBase) -> MicroOp:
         branch_taken=bool(flags & _FLAG_TAKEN),
         branch_target=branch_target,
     )
+
+
+def _decode_stream(stream, count: int) -> Iterator[MicroOp]:
+    """Decode ``count`` records from ``stream`` in buffered blocks.
+
+    Replaces the three-``struct.unpack``-plus-``_read_exact``-per-record
+    scheme with chunked reads and ``Struct.unpack_from`` over one bytes
+    buffer: the stream is touched once per ~4k records instead of 3-5 times
+    per record.  Produces micro-ops byte-for-byte identical to
+    :func:`_decode_uop` and raises :class:`TraceFileError` on truncation.
+    """
+    fixed_unpack = _FIXED.unpack_from
+    fixed_size = _FIXED.size
+    mem_unpack = _MEM.unpack_from
+    mem_bytes = _MEM.size
+    target_unpack = _TARGET.unpack_from
+    target_bytes = _TARGET.size
+    classes = _CLASS_LIST
+    num_classes = len(classes)
+    read = stream.read
+    buf = b""
+    pos = 0
+    limit = 0
+    remaining = count
+    while remaining:
+        if limit - pos < _MAX_RECORD_BYTES:
+            buf = buf[pos:] + read(_DECODE_CHUNK_BYTES)
+            pos = 0
+            limit = len(buf)
+        if limit - pos < fixed_size:
+            raise TraceFileError(
+                f"truncated trace file: wanted {fixed_size} bytes, got {limit - pos}"
+            )
+        pc, class_index, flags, dst, nsrcs = fixed_unpack(buf, pos)
+        pos += fixed_size
+        if nsrcs:
+            end = pos + nsrcs
+            if end > limit:
+                raise TraceFileError(
+                    f"truncated trace file: wanted {nsrcs} bytes, got {limit - pos}"
+                )
+            srcs = tuple(buf[pos:end])
+            pos = end
+        else:
+            srcs = ()
+        mem_addr = None
+        mem_size = 8
+        if flags & _FLAG_MEM:
+            if limit - pos < mem_bytes:
+                raise TraceFileError(
+                    f"truncated trace file: wanted {mem_bytes} bytes, got {limit - pos}"
+                )
+            mem_addr, mem_size = mem_unpack(buf, pos)
+            pos += mem_bytes
+        branch_target = None
+        if flags & _FLAG_TARGET:
+            if limit - pos < target_bytes:
+                raise TraceFileError(
+                    f"truncated trace file: wanted {target_bytes} bytes, got {limit - pos}"
+                )
+            (branch_target,) = target_unpack(buf, pos)
+            pos += target_bytes
+        if class_index >= num_classes:
+            raise TraceFileError(f"unknown micro-op class index {class_index}")
+        yield MicroOp(
+            pc=pc,
+            uop_class=classes[class_index],
+            srcs=srcs,
+            dst=None if dst == _NO_DST else dst,
+            mem_addr=mem_addr,
+            mem_size=mem_size,
+            branch_taken=bool(flags & _FLAG_TAKEN),
+            branch_target=branch_target,
+        )
+        remaining -= 1
 
 
 class TraceFileError(ValueError):
@@ -498,8 +583,7 @@ class FileTraceSource(TraceSource):
             with open(self.path, "rb") as handle:
                 handle.readline(1 << 16)  # skip the header line
                 with gzip.GzipFile(fileobj=handle, mode="rb") as stream:
-                    for _ in range(self._count):
-                        yield _decode_uop(stream)
+                    yield from _decode_stream(stream, self._count)
 
         return _records()
 

@@ -69,9 +69,17 @@ def is_fp_reg(reg: ArchReg) -> bool:
     return reg >= FP_REG_BASE
 
 
-@dataclass(frozen=True)
 class MicroOp:
     """A single dynamic micro-op.
+
+    A ``__slots__`` value class rather than a dataclass: the simulator
+    constructs one per dynamic micro-op and reads its fields in every
+    pipeline stage, so construction must not pay ``object.__setattr__``
+    (the frozen-dataclass tax) and field reads must not pay property
+    dispatch.  ``is_load``/``is_store``/``is_branch``/``is_memory`` are
+    precomputed plain attributes for the same reason.  Instances are
+    immutable by convention — nothing in the simulator mutates one after
+    construction.
 
     Attributes
     ----------
@@ -96,55 +104,103 @@ class MicroOp:
         For branches, the target program counter.
     """
 
-    pc: int
-    uop_class: UopClass
-    srcs: Tuple[ArchReg, ...] = ()
-    dst: Optional[ArchReg] = None
-    mem_addr: Optional[int] = None
-    mem_size: int = 8
-    branch_taken: bool = False
-    branch_target: Optional[int] = None
+    __slots__ = (
+        "pc",
+        "uop_class",
+        "srcs",
+        "dst",
+        "mem_addr",
+        "mem_size",
+        "branch_taken",
+        "branch_target",
+        "is_load",
+        "is_store",
+        "is_branch",
+        "is_memory",
+    )
 
-    def __post_init__(self) -> None:
-        if self.uop_class.is_memory and self.mem_addr is None:
+    def __init__(
+        self,
+        pc: int,
+        uop_class: UopClass,
+        srcs: Tuple[ArchReg, ...] = (),
+        dst: Optional[ArchReg] = None,
+        mem_addr: Optional[int] = None,
+        mem_size: int = 8,
+        branch_taken: bool = False,
+        branch_target: Optional[int] = None,
+    ) -> None:
+        is_load = uop_class is UopClass.LOAD
+        is_store = uop_class is UopClass.STORE
+        is_memory = is_load or is_store
+        is_branch = uop_class is UopClass.BRANCH
+        if is_memory:
+            if mem_addr is None:
+                raise ValueError(
+                    f"{uop_class.value} micro-op at pc={pc:#x} requires mem_addr"
+                )
+        elif mem_addr is not None:
             raise ValueError(
-                f"{self.uop_class.value} micro-op at pc={self.pc:#x} requires mem_addr"
+                f"{uop_class.value} micro-op at pc={pc:#x} must not carry mem_addr"
             )
-        if not self.uop_class.is_memory and self.mem_addr is not None:
-            raise ValueError(
-                f"{self.uop_class.value} micro-op at pc={self.pc:#x} must not carry mem_addr"
-            )
-        if self.uop_class is UopClass.STORE and self.dst is not None:
-            raise ValueError("store micro-ops do not write a destination register")
-        if self.uop_class is UopClass.BRANCH and self.dst is not None:
-            raise ValueError("branch micro-ops do not write a destination register")
-        for reg in self.srcs:
+        if dst is not None:
+            if is_store:
+                raise ValueError("store micro-ops do not write a destination register")
+            if is_branch:
+                raise ValueError("branch micro-ops do not write a destination register")
+            if not 0 <= dst < NUM_ARCH_REGS:
+                raise ValueError(f"destination register {dst} out of range")
+        for reg in srcs:
             if not 0 <= reg < NUM_ARCH_REGS:
                 raise ValueError(f"source register {reg} out of range [0, {NUM_ARCH_REGS})")
-        if self.dst is not None and not 0 <= self.dst < NUM_ARCH_REGS:
-            raise ValueError(f"destination register {self.dst} out of range")
-        if self.mem_size <= 0:
+        if mem_size <= 0:
             raise ValueError("mem_size must be positive")
+        self.pc = pc
+        self.uop_class = uop_class
+        self.srcs = srcs
+        self.dst = dst
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.branch_taken = branch_taken
+        self.branch_target = branch_target
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_branch = is_branch
+        self.is_memory = is_memory
 
-    @property
-    def is_load(self) -> bool:
-        """True for load micro-ops."""
-        return self.uop_class is UopClass.LOAD
+    def _key(self) -> Tuple:
+        return (
+            self.pc,
+            self.uop_class,
+            self.srcs,
+            self.dst,
+            self.mem_addr,
+            self.mem_size,
+            self.branch_taken,
+            self.branch_target,
+        )
 
-    @property
-    def is_store(self) -> bool:
-        """True for store micro-ops."""
-        return self.uop_class is UopClass.STORE
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, MicroOp):
+            return NotImplemented
+        return self._key() == other._key()
 
-    @property
-    def is_branch(self) -> bool:
-        """True for branch micro-ops."""
-        return self.uop_class is UopClass.BRANCH
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
 
-    @property
-    def is_memory(self) -> bool:
-        """True for loads and stores."""
-        return self.uop_class.is_memory
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MicroOp(pc={self.pc:#x}, uop_class={self.uop_class!r}, "
+            f"srcs={self.srcs!r}, dst={self.dst!r}, mem_addr={self.mem_addr!r}, "
+            f"mem_size={self.mem_size!r}, branch_taken={self.branch_taken!r}, "
+            f"branch_target={self.branch_target!r})"
+        )
 
     @property
     def writes_fp(self) -> bool:

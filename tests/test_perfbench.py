@@ -1,0 +1,104 @@
+"""Tests for the throughput-benchmark harness (``python -m repro bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.simulation.perfbench import (
+    BenchReport,
+    compare_reports,
+    format_report,
+    load_report,
+    next_bench_path,
+    run_bench,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report() -> BenchReport:
+    return run_bench(
+        workloads=("milc",), variants=("ooo", "pre"), num_uops=300, repeats=1
+    )
+
+
+class TestRunBench:
+    def test_matrix_and_throughput_fields(self, tiny_report):
+        report = tiny_report
+        assert [(c.workload, c.variant) for c in report.cells] == [
+            ("milc", "ooo"),
+            ("milc", "pre"),
+        ]
+        for cell in report.cells:
+            assert cell.num_uops == 300
+            # Generators round a trace up to whole loop iterations.
+            assert cell.committed_uops >= 300
+            assert cell.cycles > 0
+            assert cell.wall_seconds > 0
+            assert cell.uops_per_second == pytest.approx(
+                cell.committed_uops / cell.wall_seconds
+            )
+            assert cell.cycles_per_second == pytest.approx(
+                cell.cycles / cell.wall_seconds
+            )
+            assert len(cell.stats_digest) == 64
+        assert report.total_wall_seconds == pytest.approx(
+            sum(c.wall_seconds for c in report.cells)
+        )
+        assert report.total_uops_per_second > 0
+
+    def test_digests_are_timing_fingerprints(self, tiny_report):
+        """Re-running the same cell reproduces the digest (determinism), and
+        different variants differ (the digest actually sees the timing)."""
+        again = run_bench(
+            workloads=("milc",), variants=("ooo",), num_uops=300, repeats=1
+        )
+        assert again.cells[0].stats_digest == tiny_report.cells[0].stats_digest
+        assert tiny_report.cells[0].stats_digest != tiny_report.cells[1].stats_digest
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            run_bench(workloads=(), variants=(), repeats=0)
+
+
+class TestReportIO:
+    def test_write_load_round_trip(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "BENCH_0.json")
+        loaded = load_report(path)
+        assert loaded.to_dict() == tiny_report.to_dict()
+        # The file is plain JSON so CI can archive/inspect it directly.
+        with path.open() as handle:
+            assert json.load(handle)["schema"] == tiny_report.schema
+
+    def test_next_bench_path_auto_numbers(self, tmp_path):
+        assert next_bench_path(tmp_path).name == "BENCH_0.json"
+        (tmp_path / "BENCH_0.json").write_text("{}")
+        (tmp_path / "BENCH_7.json").write_text("{}")
+        assert next_bench_path(tmp_path).name == "BENCH_8.json"
+
+    def test_format_report_lists_every_cell(self, tiny_report):
+        text = format_report(tiny_report)
+        assert "milc" in text and "ooo" in text and "pre" in text
+        assert "TOTAL" in text
+
+
+class TestCompare:
+    def test_speedup_table(self, tiny_report):
+        text = compare_reports(tiny_report, tiny_report)
+        assert "1.00x" in text
+        assert "geomean speedup" in text
+        assert "diverged" not in text
+
+    def test_flags_digest_divergence(self, tiny_report):
+        mutated = BenchReport.from_dict(tiny_report.to_dict())
+        mutated.cells[0].stats_digest = "0" * 64
+        text = compare_reports(tiny_report, mutated)
+        assert "stats digest diverged" in text
+
+    def test_new_cells_are_reported(self, tiny_report):
+        baseline = BenchReport.from_dict(tiny_report.to_dict())
+        baseline.cells = baseline.cells[:1]
+        text = compare_reports(baseline, tiny_report)
+        assert "new" in text
