@@ -1,0 +1,44 @@
+"""Shared driver for the ``study_*.py`` example scripts.
+
+Each per-study script contributes its docstring (the study's motivation) and
+a registered study name; this module supplies the argparse boilerplate and
+the build -> run -> render sequence, so adding a flag here updates every
+study example at once.
+"""
+
+import argparse
+
+from repro.analysis.report import format_study_markdown, write_study_csv
+from repro.simulation.engine import ExperimentEngine
+from repro.simulation.study import build_study, run_study
+
+
+def run_study_example(study: str, doc: str) -> None:
+    """Parse the standard study-example flags, run ``study``, print markdown."""
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument(
+        "--uops", type=int, default=None,
+        help="micro-ops per cell (default: the study's own setting)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the study grid (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="optional result-cache directory; re-runs skip finished cells",
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None,
+        help="optionally write long-format per-cell curve data as CSV",
+    )
+    args = parser.parse_args()
+
+    spec = build_study(study, num_uops=args.uops)
+    engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
+    result = run_study(spec, engine=engine, progress=print)
+    print()
+    print(format_study_markdown(result))
+    if args.csv:
+        write_study_csv(result, args.csv)
+        print(f"\nper-cell curve data written to {args.csv}")

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Sensitivity study: runahead benefit vs off-chip DRAM latency.
+
+Expands the registered ``dram-latency`` study — the DRAM controller +
+interconnect overhead at 20/40/80/160 core cycles, RA and PRE against the
+OoO baseline — runs every cell through the cached parallel engine, and
+prints the markdown curve table.  Runahead exists to hide off-chip latency:
+the longer the round trip, the more cycles there are to prefetch under, so
+the baseline IPC should collapse faster than the runahead variants'.
+
+The equivalent CLI is ``python -m repro study run dram-latency``.
+
+Run with:  python examples/study_dram_latency.py [--uops N] [--workers N]
+                                                 [--cache-dir DIR] [--csv PATH]
+"""
+
+from study_common import run_study_example
+
+if __name__ == "__main__":
+    run_study_example("dram-latency", __doc__)

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Sensitivity study: does the enhanced memorisation queue pay for its SRAM?
+
+Expands the registered ``emq-sensitivity`` study — EMQ capacity at
+96/192/384/768 entries under both PRE and PRE+EMQ — runs every cell through
+the cached parallel engine, and prints the markdown curve table.  The paper
+sizes the EMQ at 768 entries (Section 4) and reports diminishing returns;
+this study draws that curve.
+
+The equivalent CLI is ``python -m repro study run emq-sensitivity``.
+
+Run with:  python examples/study_emq_sensitivity.py [--uops N] [--workers N]
+                                                    [--cache-dir DIR] [--csv PATH]
+"""
+
+from study_common import run_study_example
+
+if __name__ == "__main__":
+    run_study_example("emq-sensitivity", __doc__)

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Sensitivity study: MSHR capacity x hardware prefetcher interaction.
+
+Expands the registered ``mshr-prefetch-interaction`` study — the full
+cartesian grid of MSHR file size (8/16/32 entries) against hardware
+prefetcher choice (none/nextline/stride) with PRE on top — runs every cell
+through the cached parallel engine, and prints the markdown table.  The MSHR
+file bounds the memory-level parallelism either mechanism can expose
+(Section 5.3 discusses runahead alongside conventional prefetching), so the
+two knobs interact and need the two-axis product, not two separate sweeps.
+
+The equivalent CLI is ``python -m repro study run mshr-prefetch-interaction``.
+
+Run with:  python examples/study_mshr_prefetch.py [--uops N] [--workers N]
+                                                  [--cache-dir DIR] [--csv PATH]
+"""
+
+from study_common import run_study_example
+
+if __name__ == "__main__":
+    run_study_example("mshr-prefetch-interaction", __doc__)

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Sensitivity study: runahead benefit vs reorder-buffer depth.
+
+Expands the registered ``rob-scaling`` study — ROB (and the PRDQ that
+shadows it) at 128/192/256/384 entries, RA and PRE against the OoO baseline
+on the memory-bound trio — runs every cell through the cached parallel
+engine, and prints the markdown curve table.  The paper's premise (Section 5)
+is that full-window stalls grow with window depth, so runahead's gain should
+move with the ROB.
+
+The equivalent CLI is ``python -m repro study run rob-scaling``.
+
+Run with:  python examples/study_rob_scaling.py [--uops N] [--workers N]
+                                                [--cache-dir DIR] [--csv PATH]
+"""
+
+from study_common import run_study_example
+
+if __name__ == "__main__":
+    run_study_example("rob-scaling", __doc__)

@@ -1,6 +1,6 @@
 """``python -m repro`` — the reproduction's command-line interface.
 
-Five subcommands drive the experiment engine:
+Six subcommands drive the experiment engine:
 
 * ``python -m repro list`` — show every registered workload, core variant and
   instrumentation probe;
@@ -14,7 +14,12 @@ Five subcommands drive the experiment engine:
 * ``python -m repro bench`` — measure simulator throughput (wall-clock,
   uops/s, cycles/s, peak RSS) over a fixed workload x variant matrix, write
   a ``BENCH_<n>.json`` report, and optionally ``--compare`` against a
-  previous report.
+  previous report (exits nonzero on digest divergence, and on throughput
+  regressions beyond ``--max-slowdown``);
+* ``python -m repro study run|list|report`` — expand a registered
+  sensitivity study (ROB scaling, EMQ capacity, MSHR x prefetcher, DRAM
+  latency, ...) into its cartesian product of configurations, run every cell
+  through the cached engine, and render markdown/CSV curves.
 
 Reproducing the paper end to end::
 
@@ -130,6 +135,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("Probes (attach with --probe):")
     for entry in PROBE_REGISTRY.entries():
         print(f"  {entry.name:18s} {entry.description}")
+    from repro.simulation.study import STUDY_REGISTRY
+
+    print()
+    print("Sensitivity studies (run with 'python -m repro study run'):")
+    for entry in STUDY_REGISTRY.entries():
+        print(f"  {entry.name:26s} {entry.description}")
     return 0
 
 
@@ -241,6 +252,10 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.simulation import perfbench
 
+    if args.max_slowdown is not None and not args.compare:
+        # A gate with no baseline silently checks nothing; fail fast so a
+        # CI job that drops --compare cannot turn permanently green.
+        raise SystemExit("--max-slowdown requires --compare PREV.json")
     if args.quick:
         default_workloads = perfbench.QUICK_BENCH_WORKLOADS
         default_variants = perfbench.QUICK_BENCH_VARIANTS
@@ -286,6 +301,89 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline = perfbench.load_report(args.compare)
         print(f"\nDelta vs {args.compare}:")
         print(perfbench.compare_reports(baseline, report))
+        failures = perfbench.comparison_failures(
+            perfbench.compare_cells(baseline, report),
+            max_slowdown_percent=args.max_slowdown,
+        )
+        if failures:
+            print(
+                f"\nbench regression gate FAILED vs {args.compare}:", file=sys.stderr
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_study_list(args: argparse.Namespace) -> int:
+    from repro.simulation.study import STUDY_REGISTRY
+
+    if args.quiet:
+        for name in STUDY_REGISTRY.names():
+            print(name)
+        return 0
+    print("Registered sensitivity studies (run with 'python -m repro study run'):")
+    for entry in STUDY_REGISTRY.entries():
+        spec = entry.create()
+        points = len(spec.expand())
+        cells = points * len(spec.resolved_workloads()) * len(spec.resolved_variants())
+        print(f"  {entry.name:26s} {entry.description}")
+        print(
+            f"  {'':26s} axes: "
+            + " x ".join(f"{axis.name}[{len(axis.points)}]" for axis in spec.axes)
+            + f" -> {points} points, {cells} cells at {spec.num_uops} uops"
+        )
+    return 0
+
+
+def _cmd_study_run(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_study_markdown, write_study_csv
+    from repro.simulation.study import build_study, run_study
+
+    spec = build_study(
+        args.study,
+        num_uops=args.uops,
+        workloads=(
+            _parse_names(args.workloads, WORKLOAD_REGISTRY.names(), "workloads")
+            if args.workloads
+            else None
+        ),
+        variants=(
+            _parse_names(args.variants, VARIANT_REGISTRY.names(), "variants")
+            if args.variants
+            else None
+        ),
+    )
+    engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
+    result = run_study(
+        spec, engine=engine, progress=lambda line: print(line, file=sys.stderr)
+    )
+    print(
+        f"done: {result.total_jobs} cells, {result.simulated} simulated, "
+        f"{result.cache_hits} from cache\n",
+        file=sys.stderr,
+    )
+    print(format_study_markdown(result))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle)
+        print(f"\nfull study result written to {args.output}", file=sys.stderr)
+    if args.csv:
+        write_study_csv(result, args.csv)
+        print(f"per-cell curve data written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _cmd_study_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_study_markdown, write_study_csv
+    from repro.simulation.study import StudyResult
+
+    with open(args.result, "r", encoding="utf-8") as handle:
+        result = StudyResult.from_dict(json.load(handle))
+    print(format_study_markdown(result))
+    if args.csv:
+        write_study_csv(result, args.csv)
+        print(f"per-cell curve data written to {args.csv}", file=sys.stderr)
     return 0
 
 
@@ -463,9 +561,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_bench.add_argument(
         "--compare", default=None, metavar="PREV.json",
-        help="print per-cell throughput deltas against a previous report",
+        help="print per-cell throughput deltas against a previous report; "
+             "exits nonzero if any same-size cell's stats digest diverged",
+    )
+    sub_bench.add_argument(
+        "--max-slowdown", type=float, default=None, metavar="PCT",
+        help="with --compare: also exit nonzero when any matched cell's "
+             "throughput dropped by more than PCT percent",
     )
     sub_bench.set_defaults(func=_cmd_bench)
+
+    sub_study = sub.add_parser(
+        "study", help="run declarative sensitivity studies (config sweeps)"
+    )
+    study_sub = sub_study.add_subparsers(dest="study_command", required=True)
+
+    study_list = study_sub.add_parser("list", help="list registered studies")
+    study_list.add_argument(
+        "--quiet", action="store_true", help="print bare study names only"
+    )
+    study_list.set_defaults(func=_cmd_study_list)
+
+    study_run = study_sub.add_parser(
+        "run", help="expand a registered study and run it through the engine"
+    )
+    study_run.add_argument(
+        "study", help="registered study name (see 'python -m repro study list')"
+    )
+    study_run.add_argument(
+        "--uops", type=int, default=None,
+        help="micro-ops per cell (default: the study's own setting)",
+    )
+    study_run.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names overriding the study's suite, "
+             "or 'all'",
+    )
+    study_run.add_argument(
+        "--variants", default=None,
+        help="comma-separated variant names overriding the study's list "
+             "(the baseline is always added)",
+    )
+    study_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; results are identical either way)",
+    )
+    study_run.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory; a warm re-run simulates nothing",
+    )
+    study_run.add_argument(
+        "--output", default=None,
+        help="write the full study result as JSON for 'study report'",
+    )
+    study_run.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="additionally write long-format per-cell curve data as CSV",
+    )
+    study_run.set_defaults(func=_cmd_study_run)
+
+    study_report = study_sub.add_parser(
+        "report", help="re-render a saved study result without simulating"
+    )
+    study_report.add_argument("result", help="JSON file written by 'study run --output'")
+    study_report.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="additionally write long-format per-cell curve data as CSV",
+    )
+    study_report.set_defaults(func=_cmd_study_report)
     return parser
 
 

@@ -5,14 +5,26 @@ normalised to the baseline core; Figure 3: energy savings) and a configuration
 table (Table 1).  This module renders the same information as aligned text
 tables so that examples and benchmarks can print exactly the rows/series the
 paper reports.
+
+Sensitivity studies (:mod:`repro.simulation.study`) render here too:
+:func:`format_study_markdown` produces one markdown table per study — one row
+per configuration point, IPC/speedup/energy columns per variant, a geomean
+row across points — and :func:`study_csv_rows`/:func:`write_study_csv` emit
+the long-format per-(point, workload, variant) data behind the curves.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.simulation.experiment import ComparisonResult
+from repro.simulation.metrics import geometric_mean
 from repro.uarch.config import CoreConfig
+
+if TYPE_CHECKING:  # import cycle: study.py renders through this module
+    from repro.simulation.study import StudyResult
 
 
 def format_table(
@@ -99,3 +111,132 @@ def summarize_comparison(comparison: ComparisonResult) -> str:
             line += f", {invocations:.2f}x more runahead invocations than RA"
         lines.append(line)
     return "\n".join(lines)
+
+
+# ------------------------------------------------------- sensitivity studies
+
+
+def _markdown_row(cells: Sequence[str]) -> str:
+    return "| " + " | ".join(cells) + " |"
+
+
+def format_study_markdown(study: "StudyResult") -> str:
+    """Render a study as a markdown report: one row per configuration point.
+
+    Columns: one per axis (the point's coordinates), then per variant the
+    suite-geomean IPC, and per non-baseline variant the geomean speedup and
+    mean energy saving versus the ``ooo`` baseline *at the same point*.  A
+    final ``geomean`` row aggregates each column across points, mirroring the
+    AVG bars of the paper's figures.
+    """
+    spec = study.spec
+    variants = study.variants()
+    axis_names = [axis.name for axis in spec.axes]
+    header = list(axis_names)
+    header += [f"IPC {variant}" for variant in variants]
+    header += [f"Δ% {variant}" for variant in variants if variant != "ooo"]
+    header += [f"energy Δ% {variant}" for variant in variants if variant != "ooo"]
+
+    lines = [
+        f"## Study: {spec.name}",
+        "",
+        spec.description or "(no description)",
+        "",
+        f"- workloads: {', '.join(spec.workloads)}",
+        f"- variants: {', '.join(variants)}",
+        f"- micro-ops per cell: {spec.num_uops}",
+        f"- cells: {study.total_jobs} "
+        f"({study.simulated} simulated, {study.cache_hits} from cache)",
+        "",
+        _markdown_row(header),
+        _markdown_row(["---"] * len(header)),
+    ]
+
+    ipc_columns: Dict[str, List[float]] = {variant: [] for variant in variants}
+    speedup_columns: Dict[str, List[float]] = {
+        variant: [] for variant in variants if variant != "ooo"
+    }
+    energy_columns: Dict[str, List[float]] = {
+        variant: [] for variant in variants if variant != "ooo"
+    }
+    for point_result in study.points:
+        cells = [point_result.point.coordinates[name] for name in axis_names]
+        for variant in variants:
+            ipc = study.geomean_ipc(point_result, variant)
+            ipc_columns[variant].append(ipc)
+            cells.append(f"{ipc:.3f}")
+        for variant in variants:
+            if variant == "ooo":
+                continue
+            speedup = study.mean_speedup_percent(point_result, variant)
+            speedup_columns[variant].append(speedup)
+            cells.append(f"{speedup:+.1f}")
+        for variant in variants:
+            if variant == "ooo":
+                continue
+            energy = study.mean_energy_savings_percent(point_result, variant)
+            energy_columns[variant].append(energy)
+            cells.append(f"{energy:+.1f}")
+        lines.append(_markdown_row(cells))
+
+    if study.points:
+        geo = ["**geomean**"] + [""] * (len(axis_names) - 1)
+        geo += [f"{geometric_mean(ipc_columns[variant]):.3f}" for variant in variants]
+        # Speedup/energy are signed percentages (a geomean would be
+        # ill-defined across sign changes), so their summary row is the
+        # arithmetic mean of the per-point values.
+        geo += [
+            f"{sum(values) / len(values):+.1f}"
+            for values in speedup_columns.values()
+        ]
+        geo += [
+            f"{sum(values) / len(values):+.1f}"
+            for values in energy_columns.values()
+        ]
+        lines.append(_markdown_row(geo))
+    return "\n".join(lines)
+
+
+def study_csv_rows(study: "StudyResult") -> List[Dict[str, Any]]:
+    """Long-format rows: one per (point, workload, variant) simulation.
+
+    Each row carries the point's axis coordinates as leading columns, so the
+    file pivots directly into per-axis curves in any plotting tool.
+    """
+    axis_names = [axis.name for axis in study.spec.axes]
+    rows: List[Dict[str, Any]] = []
+    for point_result in study.points:
+        coordinates = point_result.point.coordinates
+        for bench in point_result.comparison.benchmarks:
+            for variant, result in bench.results.items():
+                row: Dict[str, Any] = {name: coordinates[name] for name in axis_names}
+                row.update(
+                    workload=bench.benchmark,
+                    variant=variant,
+                    ipc=result.ipc,
+                    cycles=result.cycles,
+                    committed_uops=result.stats.committed_uops,
+                    speedup_percent=(
+                        0.0 if variant == "ooo" else bench.speedup_percent(variant)
+                    ),
+                    energy_savings_percent=(
+                        0.0
+                        if variant == "ooo"
+                        else bench.energy_savings_percent(variant)
+                    ),
+                    total_energy_nj=result.energy.total_nj,
+                )
+                rows.append(row)
+    return rows
+
+
+def write_study_csv(study: "StudyResult", path: Union[str, Path]) -> Path:
+    """Write :func:`study_csv_rows` to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    rows = study_csv_rows(study)
+    fieldnames = list(rows[0]) if rows else ["workload", "variant"]
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

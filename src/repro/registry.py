@@ -59,8 +59,9 @@ class DuplicateRegistrationError(ValueError):
 class Registry:
     """An ordered name -> factory mapping with decorator registration."""
 
-    def __init__(self, kind: str) -> None:
+    def __init__(self, kind: str, plural: Optional[str] = None) -> None:
         self.kind = kind
+        self.plural = plural or f"{kind}s"
         self._entries: Dict[str, RegistryEntry] = {}
         self._labels: Dict[str, str] = {}
 
@@ -125,7 +126,7 @@ class Registry:
         except KeyError:
             known = ", ".join(self.names()) or "<none>"
             raise KeyError(
-                f"unknown {self.kind} {name!r}; registered {self.kind}s: {known}"
+                f"unknown {self.kind} {name!r}; registered {self.plural}: {known}"
             ) from None
 
     def create(self, name: str, *args: Any, **kwargs: Any) -> Any:

@@ -84,19 +84,61 @@ class SweepSpec(JSONSerializable):
 
     def resolved_variants(self) -> List[str]:
         """The variant list with the baseline prepended, validated early."""
-        variants = list(self.variants) or VARIANT_REGISTRY.names()
-        if "ooo" not in variants:
-            variants.insert(0, "ooo")
-        for variant in variants:
-            VARIANT_REGISTRY.get(variant)  # raises KeyError on unknown names
-        return variants
+        return resolve_variants(self.variants)
 
     def resolved_workloads(self) -> List[str]:
         """The workload list, validated against the registry."""
-        workloads = list(self.workloads)
-        for name in workloads:
-            WORKLOAD_REGISTRY.get(name)  # raises KeyError on unknown names
-        return workloads
+        return resolve_workloads(self.workloads)
+
+
+def resolve_variants(variants: Sequence[str]) -> List[str]:
+    """A validated variant list with the ``ooo`` baseline always present.
+
+    An empty selection means every registered variant (in figure order); the
+    baseline is prepended when missing because every comparison normalises
+    against it.  Shared by sweep and study specs so the two layers can never
+    disagree about grid columns.
+    """
+    variant_list = list(variants) or VARIANT_REGISTRY.names()
+    if "ooo" not in variant_list:
+        variant_list.insert(0, "ooo")
+    for variant in variant_list:
+        VARIANT_REGISTRY.get(variant)  # raises KeyError on unknown names
+    return variant_list
+
+
+def resolve_workloads(workloads: Sequence[str]) -> List[str]:
+    """The workload list, validated against the registry."""
+    workload_list = list(workloads)
+    for name in workload_list:
+        WORKLOAD_REGISTRY.get(name)  # raises KeyError on unknown names
+    return workload_list
+
+
+def assemble_comparison(
+    benchmarks: Sequence[str],
+    variants: Sequence[str],
+    results: Sequence[SimulationResult],
+) -> ComparisonResult:
+    """Fold a flat benchmark-major/variant-minor result list into a grid.
+
+    ``results[i * len(variants) + j]`` must be benchmark ``i`` on variant
+    ``j`` — the order every engine entry point expands jobs in.  Centralised
+    so sweeps and studies can never drift apart on the index arithmetic.
+    """
+    return ComparisonResult(
+        benchmarks=[
+            BenchmarkResult(
+                benchmark=name,
+                results={
+                    variants[j]: results[i * len(variants) + j]
+                    for j in range(len(variants))
+                },
+            )
+            for i, name in enumerate(benchmarks)
+        ],
+        variants=list(variants),
+    )
 
 
 @dataclass
@@ -132,6 +174,27 @@ class EngineRunStats:
     total_jobs: int = 0
     cache_hits: int = 0
     simulated: int = 0
+
+
+@dataclass
+class JobSpec(JSONSerializable):
+    """One fully-specified simulation cell for :meth:`ExperimentEngine.run_jobs`.
+
+    Unlike :class:`SweepSpec` — which applies one configuration to a whole
+    benchmarks x variants grid — a ``JobSpec`` pins its *own* core and
+    hierarchy configuration, which is what lets the sensitivity-study layer
+    (:mod:`repro.simulation.study`) run an entire cartesian product of
+    configurations through one engine call (one process pool, one cache pass).
+    ``config``/``hierarchy_config`` default to the engine's own.
+    """
+
+    workload: str
+    variant: str
+    num_uops: Optional[int] = None
+    config: Optional[CoreConfig] = None
+    hierarchy_config: Optional[HierarchyConfig] = None
+    max_cycles: Optional[int] = None
+    probes: Sequence[str] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------- job model
@@ -403,31 +466,13 @@ class ExperimentEngine:
         for overrides in override_sets:
             chunk = results[cursor : cursor + grid]
             cursor += grid
-            benchmarks = [
-                BenchmarkResult(
-                    benchmark=workloads[i],
-                    results={
-                        variants[j]: chunk[i * len(variants) + j]
-                        for j in range(len(variants))
-                    },
-                )
-                for i in range(len(workloads))
-            ]
             cells.append(
                 SweepCell(
                     overrides=overrides,
-                    comparison=ComparisonResult(benchmarks=benchmarks, variants=variants),
+                    comparison=assemble_comparison(workloads, variants, chunk),
                 )
             )
         return SweepResult(spec=spec, cells=cells)
-
-    @staticmethod
-    def _with_baseline(variants: Sequence[str]) -> List[str]:
-        """The variant list with the normalisation baseline always present."""
-        variant_list = list(variants) or VARIANT_REGISTRY.names()
-        if "ooo" not in variant_list:
-            variant_list.insert(0, "ooo")
-        return variant_list
 
     def _run_benchmark_grid(
         self,
@@ -455,17 +500,9 @@ class ExperimentEngine:
                     )
                 )
         results = self._run_jobs(payloads)
-        benchmarks = [
-            BenchmarkResult(
-                benchmark=benchmark,
-                results={
-                    variant_list[j]: results[i * len(variant_list) + j]
-                    for j in range(len(variant_list))
-                },
-            )
-            for i, (benchmark, _, _) in enumerate(jobs)
-        ]
-        return ComparisonResult(benchmarks=benchmarks, variants=list(variant_list))
+        return assemble_comparison(
+            [benchmark for benchmark, _, _ in jobs], variant_list, results
+        )
 
     def run_traces(
         self,
@@ -483,7 +520,7 @@ class ExperimentEngine:
                 source["digest"] = _trace_digest(trace)
             jobs.append((trace.name, source, trace))
         return self._run_benchmark_grid(
-            jobs, self._with_baseline(variants), max_cycles, probes
+            jobs, resolve_variants(variants), max_cycles, probes
         )
 
     def run_trace_files(
@@ -518,8 +555,46 @@ class ExperimentEngine:
                 source["digest"] = trace_file_digest(file_source.path)
             jobs.append((file_source.name, source, None))
         return self._run_benchmark_grid(
-            jobs, self._with_baseline(variants), max_cycles, probes
+            jobs, resolve_variants(variants), max_cycles, probes
         )
+
+    def run_jobs(self, jobs: Sequence[JobSpec]) -> List[SimulationResult]:
+        """Run heterogeneous, individually-configured cells in one engine pass.
+
+        Jobs are validated up front (unknown workload/variant/probe names fail
+        before anything simulates), expanded in the given order, and funnelled
+        through the same cache + pool machinery as sweeps, so results come
+        back in job order and ``last_run_stats`` accounts for the whole batch.
+        """
+        payloads: List[Dict[str, Any]] = []
+        for job in jobs:
+            entry = WORKLOAD_REGISTRY.get(job.workload)
+            VARIANT_REGISTRY.get(job.variant)
+            for name in job.probes:
+                PROBE_REGISTRY.get(name)
+            source = {
+                "kind": "workload",
+                "name": job.workload,
+                "num_uops": job.num_uops,
+                "token": _workload_token(entry),
+            }
+            payloads.append(
+                _job_payload(
+                    benchmark=job.workload,
+                    variant=job.variant,
+                    source=source,
+                    trace=None,
+                    config=job.config if job.config is not None else self.config,
+                    hierarchy_config=(
+                        job.hierarchy_config
+                        if job.hierarchy_config is not None
+                        else self.hierarchy_config
+                    ),
+                    max_cycles=job.max_cycles,
+                    probes=job.probes,
+                )
+            )
+        return self._run_jobs(payloads)
 
     def run_workloads(
         self,
@@ -619,6 +694,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "EngineRunStats",
     "ExperimentEngine",
+    "JobSpec",
     "ResultCache",
     "SweepCell",
     "SweepResult",

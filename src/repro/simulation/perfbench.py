@@ -229,35 +229,118 @@ def format_report(report: BenchReport) -> str:
     return "\n".join(lines)
 
 
+@dataclass
+class CellDelta(JSONSerializable):
+    """One matched cell of a report comparison.
+
+    ``speedup`` is current over baseline throughput (``None`` for cells the
+    baseline lacks).  ``digests_comparable`` is true only when both runs
+    simulated the same ``num_uops``, in which case ``digest_diverged`` says
+    whether the timing model changed between the reports.
+    """
+
+    workload: str
+    variant: str
+    baseline_uops_per_second: Optional[float]
+    current_uops_per_second: float
+    speedup: Optional[float]
+    digests_comparable: bool = False
+    digest_diverged: bool = False
+
+
+def compare_cells(baseline: BenchReport, current: BenchReport) -> List[CellDelta]:
+    """Match ``current``'s cells against ``baseline`` by (workload, variant)."""
+    deltas: List[CellDelta] = []
+    for cell in current.cells:
+        base = baseline.cell(cell.workload, cell.variant)
+        if base is None:
+            deltas.append(
+                CellDelta(
+                    workload=cell.workload,
+                    variant=cell.variant,
+                    baseline_uops_per_second=None,
+                    current_uops_per_second=cell.uops_per_second,
+                    speedup=None,
+                )
+            )
+            continue
+        comparable = base.num_uops == cell.num_uops
+        deltas.append(
+            CellDelta(
+                workload=cell.workload,
+                variant=cell.variant,
+                baseline_uops_per_second=base.uops_per_second,
+                current_uops_per_second=cell.uops_per_second,
+                speedup=(
+                    cell.uops_per_second / base.uops_per_second
+                    if base.uops_per_second
+                    else 0.0
+                ),
+                digests_comparable=comparable,
+                digest_diverged=comparable and base.stats_digest != cell.stats_digest,
+            )
+        )
+    return deltas
+
+
+def comparison_failures(
+    deltas: Sequence[CellDelta], max_slowdown_percent: Optional[float] = None
+) -> List[str]:
+    """Regression-gate verdicts for a comparison, one message per violation.
+
+    Digest divergence on comparable cells always fails (a perf change must
+    not alter timing).  With ``max_slowdown_percent`` set, any matched cell
+    whose throughput dropped by more than that fraction fails too.
+    """
+    failures: List[str] = []
+    for delta in deltas:
+        if delta.digest_diverged:
+            failures.append(
+                f"{delta.workload}/{delta.variant}: stats digest diverged "
+                f"(timing model changed at equal num_uops)"
+            )
+        if (
+            max_slowdown_percent is not None
+            and delta.speedup is not None
+            and delta.speedup < 1.0 - max_slowdown_percent / 100.0
+        ):
+            failures.append(
+                f"{delta.workload}/{delta.variant}: {delta.speedup:.2f}x of baseline "
+                f"throughput (more than {max_slowdown_percent:.0f}% slowdown)"
+            )
+    return failures
+
+
 def compare_reports(baseline: BenchReport, current: BenchReport) -> str:
     """Per-cell throughput deltas of ``current`` over ``baseline``.
 
     Cells are matched by (workload, variant).  A digest mismatch between
     matched cells run at the same ``num_uops`` means the *timing model*
     changed between the two reports, which a pure perf PR must not do —
-    those rows are flagged.
+    those rows are flagged (and fail :func:`comparison_failures`).
     """
     lines = [
         f"{'workload':12s} {'variant':16s} {'base uops/s':>12s} "
         f"{'now uops/s':>12s} {'speedup':>8s}"
     ]
     speedups: List[float] = []
-    for cell in current.cells:
-        base = baseline.cell(cell.workload, cell.variant)
-        if base is None:
+    for delta in compare_cells(baseline, current):
+        if delta.speedup is None or delta.baseline_uops_per_second is None:
             lines.append(
-                f"{cell.workload:12s} {cell.variant:16s} {'-':>12s} "
-                f"{cell.uops_per_second:12.0f} {'new':>8s}"
+                f"{delta.workload:12s} {delta.variant:16s} {'-':>12s} "
+                f"{delta.current_uops_per_second:12.0f} {'new':>8s}"
             )
             continue
-        ratio = cell.uops_per_second / base.uops_per_second if base.uops_per_second else 0.0
-        speedups.append(ratio)
-        flag = ""
-        if base.num_uops == cell.num_uops and base.stats_digest != cell.stats_digest:
-            flag = "  !! stats digest diverged (timing changed)"
+        speedups.append(delta.speedup)
+        flag = (
+            "  !! stats digest diverged (timing changed)"
+            if delta.digest_diverged
+            else ""
+        )
         lines.append(
-            f"{cell.workload:12s} {cell.variant:16s} {base.uops_per_second:12.0f} "
-            f"{cell.uops_per_second:12.0f} {ratio:7.2f}x{flag}"
+            f"{delta.workload:12s} {delta.variant:16s} "
+            f"{delta.baseline_uops_per_second:12.0f} "
+            f"{delta.current_uops_per_second:12.0f} {delta.speedup:7.2f}x{flag}"
         )
     if speedups:
         geomean = 1.0
@@ -277,6 +360,9 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BenchCell",
     "BenchReport",
+    "CellDelta",
+    "compare_cells",
+    "comparison_failures",
     "DEFAULT_BENCH_UOPS",
     "DEFAULT_BENCH_VARIANTS",
     "DEFAULT_BENCH_WORKLOADS",

@@ -8,7 +8,9 @@ import pytest
 
 from repro.simulation.perfbench import (
     BenchReport,
+    compare_cells,
     compare_reports,
+    comparison_failures,
     format_report,
     load_report,
     next_bench_path,
@@ -102,3 +104,70 @@ class TestCompare:
         baseline.cells = baseline.cells[:1]
         text = compare_reports(baseline, tiny_report)
         assert "new" in text
+
+
+class TestRegressionGate:
+    """The CI gate behind ``bench --compare [--max-slowdown]``."""
+
+    def test_identical_reports_pass(self, tiny_report):
+        deltas = compare_cells(tiny_report, tiny_report)
+        assert all(d.speedup == pytest.approx(1.0) for d in deltas)
+        assert comparison_failures(deltas, max_slowdown_percent=25.0) == []
+
+    def test_digest_divergence_always_fails(self, tiny_report):
+        mutated = BenchReport.from_dict(tiny_report.to_dict())
+        mutated.cells[0].stats_digest = "0" * 64
+        deltas = compare_cells(tiny_report, mutated)
+        failures = comparison_failures(deltas)  # no slowdown threshold at all
+        assert len(failures) == 1
+        assert "digest diverged" in failures[0]
+        assert mutated.cells[0].workload in failures[0]
+
+    def test_digests_incomparable_across_uop_counts(self, tiny_report):
+        mutated = BenchReport.from_dict(tiny_report.to_dict())
+        mutated.cells[0].stats_digest = "0" * 64
+        mutated.cells[0].num_uops = tiny_report.cells[0].num_uops * 2
+        deltas = compare_cells(tiny_report, mutated)
+        assert not deltas[0].digests_comparable
+        assert not deltas[0].digest_diverged
+        assert comparison_failures(deltas) == []
+
+    def test_slowdown_beyond_threshold_fails(self, tiny_report):
+        mutated = BenchReport.from_dict(tiny_report.to_dict())
+        mutated.cells[0].uops_per_second = (
+            tiny_report.cells[0].uops_per_second * 0.5
+        )
+        deltas = compare_cells(tiny_report, mutated)
+        assert comparison_failures(deltas) == []  # informational without a bound
+        failures = comparison_failures(deltas, max_slowdown_percent=25.0)
+        assert len(failures) == 1
+        assert "slowdown" in failures[0]
+        # A 50% drop passes a looser 60% bound.
+        assert comparison_failures(deltas, max_slowdown_percent=60.0) == []
+
+    def test_new_cells_never_fail_the_gate(self, tiny_report):
+        baseline = BenchReport.from_dict(tiny_report.to_dict())
+        baseline.cells = baseline.cells[:1]
+        deltas = compare_cells(baseline, tiny_report)
+        assert deltas[-1].speedup is None
+        assert comparison_failures(deltas, max_slowdown_percent=25.0) == []
+
+    def test_cli_rejects_max_slowdown_without_compare(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="requires --compare"):
+            main(["bench", "--no-write", "--max-slowdown", "25"])
+
+    def test_cli_exits_nonzero_on_divergence(self, tiny_report, tmp_path, capsys):
+        from repro.__main__ import main
+
+        mutated = BenchReport.from_dict(tiny_report.to_dict())
+        mutated.cells = [mutated.cells[0]]
+        mutated.cells[0].stats_digest = "0" * 64
+        baseline_path = write_report(mutated, tmp_path / "baseline.json")
+        code = main([
+            "bench", "--benchmarks", "milc", "--variants", "ooo",
+            "--uops", "300", "--no-write", "--compare", str(baseline_path),
+        ])
+        assert code == 1
+        assert "regression gate FAILED" in capsys.readouterr().err
