@@ -219,6 +219,10 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 def _cmd_trace_replay(args: argparse.Namespace) -> int:
     variants = _parse_names(args.variants, VARIANT_REGISTRY.names(), "variants")
+    if args.shards is not None:
+        return _trace_replay_sharded(args, variants)
+    if args.warmup_uops:
+        raise SystemExit("--warmup-uops only applies to sharded replay (--shards N)")
     engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
     sources = [FileTraceSource(path) for path in args.traces]
     names = [source.name for source in sources]
@@ -249,6 +253,65 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_replay_sharded(args: argparse.Namespace, variants: List[str]) -> int:
+    """``trace replay --shards N``: split each trace into windows and stitch."""
+    from repro.simulation.shard import run_sharded
+
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
+    sources = [FileTraceSource(path) for path in args.traces]
+    names = [source.name for source in sources]
+    print(
+        f"sharded replay of {len(sources)} trace file(s) ({', '.join(names)}) x "
+        f"{len(variants)} variants ({args.shards} shard(s), "
+        f"{args.warmup_uops} warmup uops, {args.workers} worker(s)"
+        + (f", cache: {args.cache_dir}" if args.cache_dir else "")
+        + ") ...",
+        file=sys.stderr,
+    )
+    total_jobs = simulated = cache_hits = 0
+    output: Dict[str, Dict[str, Any]] = {}
+    print(
+        f"{'trace':12s} {'variant':16s} {'shards':>6s} {'uops':>10s} "
+        f"{'cycles':>10s} {'IPC':>8s}  exact"
+    )
+    for source in sources:
+        per_variant: Dict[str, Any] = {}
+        for variant in variants:
+            result = run_sharded(
+                source,
+                variant=variant,
+                shards=args.shards,
+                warmup_uops=args.warmup_uops,
+                engine=engine,
+                max_cycles=args.max_cycles,
+                probes=list(args.probe or []),
+            )
+            stats = engine.last_run_stats
+            total_jobs += stats.total_jobs
+            simulated += stats.simulated
+            cache_hits += stats.cache_hits
+            per_variant[variant] = result.to_dict()
+            print(
+                f"{result.trace_name:12s} {variant:16s} {len(result.shards):6d} "
+                f"{result.stitched_stats.committed_uops:10d} "
+                f"{result.stitched_stats.cycles:10d} "
+                f"{result.stitched_ipc:8.3f}  {'yes' if result.exact else 'no'}"
+            )
+        output[source.name] = per_variant
+    print(
+        f"done: {total_jobs} cells, {simulated} simulated, "
+        f"{cache_hits} from cache\n",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(output, handle)
+        print(f"\nsharded results written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.simulation import perfbench
 
@@ -256,6 +319,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # A gate with no baseline silently checks nothing; fail fast so a
         # CI job that drops --compare cannot turn permanently green.
         raise SystemExit("--max-slowdown requires --compare PREV.json")
+    if args.shards is not None:
+        return _bench_sharded(args, perfbench)
     if args.quick:
         default_workloads = perfbench.QUICK_BENCH_WORKLOADS
         default_variants = perfbench.QUICK_BENCH_VARIANTS
@@ -289,6 +354,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workloads=workloads,
         variants=variants,
         num_uops=num_uops,
+        repeats=args.repeats,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    print(perfbench.format_report(report))
+    if not args.no_write:
+        path = args.output or perfbench.next_bench_path(args.dir)
+        perfbench.write_report(report, path)
+        print(f"\nbench report written to {path}", file=sys.stderr)
+    if args.compare:
+        baseline = perfbench.load_report(args.compare)
+        print(f"\nDelta vs {args.compare}:")
+        print(perfbench.compare_reports(baseline, report))
+        failures = perfbench.comparison_failures(
+            perfbench.compare_cells(baseline, report),
+            max_slowdown_percent=args.max_slowdown,
+        )
+        if failures:
+            print(
+                f"\nbench regression gate FAILED vs {args.compare}:", file=sys.stderr
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _bench_sharded(args: argparse.Namespace, perfbench) -> int:
+    """``bench --shards N``: time one long-trace sharded replay end to end."""
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    num_uops = args.uops if args.uops is not None else perfbench.SHARD_BENCH_UOPS
+    print(
+        f"benchmarking sharded replay: {perfbench.SHARD_BENCH_WORKLOAD}/"
+        f"{perfbench.SHARD_BENCH_VARIANT} at {num_uops} micro-ops, "
+        f"{args.shards} shard(s), {args.workers} worker(s), "
+        f"best of {args.repeats} ...",
+        file=sys.stderr,
+    )
+    report = perfbench.run_sharded_bench(
+        num_uops=num_uops,
+        shards=args.shards,
+        workers=args.workers,
+        warmup_uops=args.warmup_uops,
         repeats=args.repeats,
         progress=lambda line: print(f"  {line}", file=sys.stderr),
     )
@@ -513,6 +621,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach an instrumentation probe to every cell (repeatable)",
     )
     trace_replay.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split each trace into N contiguous windows, run them as "
+             "independent jobs (parallel with --workers) and stitch the "
+             "statistics; N=1 with no warmup is bit-identical to an "
+             "unsharded replay",
+    )
+    trace_replay.add_argument(
+        "--warmup-uops", type=int, default=0, metavar="K",
+        help="with --shards: simulate up to K micro-ops before each window "
+             "to warm caches/predictors, excluded from the statistics "
+             "(default: 0)",
+    )
+    trace_replay.add_argument(
         "--output", default=None,
         help="write the full comparison as JSON",
     )
@@ -546,6 +667,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub_bench.add_argument(
         "--quick", action="store_true",
         help="CI smoke matrix: mcf,milc x ooo,pre at 800 micro-ops",
+    )
+    sub_bench.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="instead of the matrix, time one long-trace sharded replay "
+             "(sphinx3/ooo at 60000 micro-ops by default) split N ways",
+    )
+    sub_bench.add_argument(
+        "--warmup-uops", type=int, default=0, metavar="K",
+        help="with --shards: per-shard warmup prefix in micro-ops (default: 0)",
+    )
+    sub_bench.add_argument(
+        "--workers", type=int, default=1,
+        help="with --shards: worker processes for the shard jobs (default: 1)",
     )
     sub_bench.add_argument(
         "--dir", default=".",

@@ -44,12 +44,17 @@ from repro.serde import JSONSerializable, canonical_json
 from repro.simulation.experiment import BenchmarkResult, ComparisonResult
 from repro.simulation.simulator import SimulationResult, run_variant
 from repro.uarch.config import CoreConfig
-from repro.workloads.source import FileTraceSource, trace_file_digest
+from repro.workloads.source import (
+    FileTraceSource,
+    TraceSource,
+    as_source,
+    trace_file_digest,
+)
 from repro.workloads.trace import Trace
 
 #: Bump when the simulator or result schema changes incompatibly; invalidates
-#: every cached result.
-CACHE_SCHEMA_VERSION = 3
+#: every cached result.  v4: window/warmup fields joined the job descriptor.
+CACHE_SCHEMA_VERSION = 4
 
 
 # --------------------------------------------------------------------- sweeps
@@ -186,21 +191,33 @@ class JobSpec(JSONSerializable):
     (:mod:`repro.simulation.study`) run an entire cartesian product of
     configurations through one engine call (one process pool, one cache pass).
     ``config``/``hierarchy_config`` default to the engine's own.
+
+    The trace comes from exactly one of two places: ``workload`` (a registry
+    name, rebuilt locally by each worker) or ``trace_file`` (a recorded trace
+    path, streamed locally and cache-keyed by content digest).  ``window``
+    restricts the run to the micro-ops in ``[start, end)`` and
+    ``warmup_uops`` additionally simulates that many micro-ops *before*
+    ``start`` without counting them in the returned statistics — the shard
+    execution path (:mod:`repro.simulation.shard`).  Both fold into the
+    content-hash cache key.
     """
 
-    workload: str
-    variant: str
+    workload: str = ""
+    variant: str = "pre"
     num_uops: Optional[int] = None
     config: Optional[CoreConfig] = None
     hierarchy_config: Optional[HierarchyConfig] = None
     max_cycles: Optional[int] = None
     probes: Sequence[str] = field(default_factory=list)
+    trace_file: Optional[str] = None
+    window: Optional[Tuple[int, int]] = None
+    warmup_uops: int = 0
 
 
 # ----------------------------------------------------------------- job model
 
 
-def _trace_digest(trace: Trace) -> str:
+def _trace_digest(trace: Union[Trace, TraceSource]) -> str:
     """Content hash of a trace: every micro-op field contributes."""
     hasher = hashlib.sha256()
     for uop in trace:
@@ -225,12 +242,25 @@ def _job_payload(
     benchmark: str,
     variant: str,
     source: Dict[str, Any],
-    trace: Optional[Trace],
+    trace: Optional[Union[Trace, "TraceSource"]],
     config: CoreConfig,
     hierarchy_config: Optional[HierarchyConfig],
     max_cycles: Optional[int],
     probes: Sequence[str] = (),
+    window: Optional[Tuple[int, int]] = None,
+    warmup_uops: int = 0,
 ) -> Dict[str, Any]:
+    if window is not None:
+        start, end = window
+        if start < 0 or end < start:
+            raise ValueError(f"invalid window [{start}, {end})")
+        if warmup_uops > start:
+            raise ValueError(
+                f"warmup_uops {warmup_uops} exceeds the {start} micro-ops "
+                "before the window (clamp it first)"
+            )
+    elif warmup_uops:
+        raise ValueError("warmup_uops requires a window")
     return {
         "benchmark": benchmark,
         "variant": variant,
@@ -240,6 +270,8 @@ def _job_payload(
         "hierarchy": hierarchy_config.to_dict() if hierarchy_config else None,
         "max_cycles": max_cycles,
         "probes": list(probes),
+        "window": list(window) if window is not None else None,
+        "warmup_uops": warmup_uops,
     }
 
 
@@ -267,6 +299,8 @@ def _job_cache_key(payload: Dict[str, Any]) -> str:
         "hierarchy": payload["hierarchy"],
         "max_cycles": payload["max_cycles"],
         "probes": payload.get("probes", []),
+        "window": payload.get("window"),
+        "warmup_uops": payload.get("warmup_uops", 0),
     }
     return hashlib.sha256(canonical_json(descriptor).encode()).hexdigest()
 
@@ -315,6 +349,16 @@ def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     hierarchy_config = (
         HierarchyConfig.from_dict(payload["hierarchy"]) if payload["hierarchy"] else None
     )
+    window = payload.get("window")
+    warmup_uops = 0
+    if window is not None:
+        # The window is the *measured* [start, end); the warmup prefix is
+        # simulated before it (warm caches/predictors/queues) but excluded
+        # from the returned stats by run_variant's stats_start seam.
+        warmup_uops = payload.get("warmup_uops") or 0
+        start, end = window
+        base = as_source(trace)
+        trace = base.window(start - warmup_uops, end, name=base.name)
     result = run_variant(
         trace,
         variant=payload["variant"],
@@ -322,6 +366,7 @@ def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
         hierarchy_config=hierarchy_config,
         max_cycles=payload["max_cycles"],
         probes=payload.get("probes") or (),
+        warmup_uops=warmup_uops,
     )
     return result.to_dict()
 
@@ -567,20 +612,29 @@ class ExperimentEngine:
         back in job order and ``last_run_stats`` accounts for the whole batch.
         """
         payloads: List[Dict[str, Any]] = []
+        file_digests: Dict[str, str] = {}
         for job in jobs:
-            entry = WORKLOAD_REGISTRY.get(job.workload)
             VARIANT_REGISTRY.get(job.variant)
             for name in job.probes:
                 PROBE_REGISTRY.get(name)
-            source = {
-                "kind": "workload",
-                "name": job.workload,
-                "num_uops": job.num_uops,
-                "token": _workload_token(entry),
-            }
+            if bool(job.workload) == bool(job.trace_file):
+                raise ValueError(
+                    "JobSpec needs exactly one of workload= or trace_file="
+                )
+            if job.trace_file is not None:
+                benchmark, source = self._file_source(job.trace_file, file_digests)
+            else:
+                benchmark = job.workload
+                entry = WORKLOAD_REGISTRY.get(job.workload)
+                source = {
+                    "kind": "workload",
+                    "name": job.workload,
+                    "num_uops": job.num_uops,
+                    "token": _workload_token(entry),
+                }
             payloads.append(
                 _job_payload(
-                    benchmark=job.workload,
+                    benchmark=benchmark,
                     variant=job.variant,
                     source=source,
                     trace=None,
@@ -592,6 +646,85 @@ class ExperimentEngine:
                     ),
                     max_cycles=job.max_cycles,
                     probes=job.probes,
+                    window=job.window,
+                    warmup_uops=job.warmup_uops,
+                )
+            )
+        return self._run_jobs(payloads)
+
+    def _file_source(
+        self, path: Union[str, Path], digests: Dict[str, str]
+    ) -> Tuple[str, Dict[str, Any]]:
+        """A ``"file"``-kind source descriptor, digesting each file once."""
+        file_source = (
+            path if isinstance(path, FileTraceSource) else FileTraceSource(path)
+        )
+        source = {
+            "kind": "file",
+            "name": file_source.name,
+            "path": str(file_source.path),
+        }
+        if self.cache is not None:
+            key = str(file_source.path)
+            if key not in digests:
+                digests[key] = trace_file_digest(file_source.path)
+            source["digest"] = digests[key]
+        return file_source.name, source
+
+    def run_trace_windows(
+        self,
+        trace: Union[Trace, TraceSource],
+        variant: str,
+        windows: Sequence[Tuple[int, int, int]],
+        config: Optional[CoreConfig] = None,
+        hierarchy_config: Optional[HierarchyConfig] = None,
+        max_cycles: Optional[int] = None,
+        probes: Sequence[str] = (),
+    ) -> List[SimulationResult]:
+        """Run windows of one trace as independent cells (the shard path).
+
+        ``windows`` is a sequence of ``(start, end, warmup_uops)`` triples:
+        each cell simulates ``[start - warmup, end)`` of ``trace`` but only
+        the micro-ops from ``start`` onward count in its statistics.  A single
+        window covering the whole trace with zero warmup is normalised to a
+        plain (un-windowed) job, so it shares cache entries — and bit-exact
+        results — with ordinary full-trace replays of the same source.
+        """
+        VARIANT_REGISTRY.get(variant)
+        for name in probes:
+            PROBE_REGISTRY.get(name)
+        source_obj = as_source(trace)
+        if isinstance(source_obj, FileTraceSource):
+            _, source = self._file_source(source_obj, {})
+            trace_payload: Optional[Union[Trace, TraceSource]] = None
+        else:
+            source = {"kind": "trace", "name": source_obj.name}
+            if self.cache is not None:
+                # _trace_digest only iterates micro-ops, which any source does.
+                source["digest"] = _trace_digest(source_obj)
+            trace_payload = trace if isinstance(trace, Trace) else source_obj
+        total = source_obj.length
+        payloads = []
+        for start, end, warmup in windows:
+            window: Optional[Tuple[int, int]] = (start, end)
+            if start == 0 and warmup == 0 and total is not None and end >= total:
+                window = None  # whole trace: identical to an un-windowed job
+            payloads.append(
+                _job_payload(
+                    benchmark=source_obj.name,
+                    variant=variant,
+                    source=source,
+                    trace=trace_payload,
+                    config=config if config is not None else self.config,
+                    hierarchy_config=(
+                        hierarchy_config
+                        if hierarchy_config is not None
+                        else self.hierarchy_config
+                    ),
+                    max_cycles=max_cycles,
+                    probes=probes,
+                    window=window,
+                    warmup_uops=0 if window is None else warmup,
                 )
             )
         return self._run_jobs(payloads)
@@ -675,13 +808,17 @@ class ExperimentEngine:
         Trace jobs are expanded trace-major, so batching by identity ships
         each (potentially large) trace to a worker once instead of once per
         variant.  Registry-named jobs stay singleton batches for maximum
-        scheduling freedom.
+        scheduling freedom — and so do windowed jobs: a sharded replay's
+        whole point is to spread one trace's windows across workers, so they
+        must never collapse into a single worker's batch.
         """
         batches: List[List[Dict[str, Any]]] = []
         for payload in payloads:
             if (
                 batches
                 and payload["trace"] is not None
+                and payload.get("window") is None
+                and batches[-1][-1].get("window") is None
                 and batches[-1][-1]["trace"] is payload["trace"]
             ):
                 batches[-1].append(payload)

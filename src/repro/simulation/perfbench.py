@@ -54,6 +54,13 @@ QUICK_BENCH_WORKLOADS = ("mcf", "milc")
 QUICK_BENCH_VARIANTS = ("ooo", "pre")
 QUICK_BENCH_UOPS = 800
 
+#: The ``--shards`` scenario: one long recorded trace replayed end to end,
+#: the workload sharded replay exists for.  A single workload/variant cell —
+#: the point is aggregate throughput on one trace, not a matrix.
+SHARD_BENCH_WORKLOAD = "sphinx3"
+SHARD_BENCH_VARIANT = "ooo"
+SHARD_BENCH_UOPS = 60_000
+
 _BENCH_FILE_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
@@ -81,6 +88,8 @@ class BenchCell(JSONSerializable):
     uops_per_second: float
     cycles_per_second: float
     stats_digest: str
+    #: Shard count of a sharded-replay cell; 1 for ordinary serial cells.
+    shards: int = 1
 
 
 @dataclass
@@ -177,6 +186,91 @@ def run_bench(
     )
 
 
+def run_sharded_bench(
+    workload: str = SHARD_BENCH_WORKLOAD,
+    variant: str = SHARD_BENCH_VARIANT,
+    num_uops: int = SHARD_BENCH_UOPS,
+    shards: int = 4,
+    workers: int = 1,
+    warmup_uops: int = 0,
+    repeats: int = 1,
+    progress=None,
+) -> BenchReport:
+    """Time one long-trace sharded replay end to end; return a one-cell report.
+
+    The workload is recorded to a temporary trace file first (sharded replay
+    targets recorded traces, and a file source lets worker processes stream
+    their shards instead of unpickling micro-ops), and only the
+    :func:`~repro.simulation.shard.run_sharded` call is timed — no result
+    cache, so every repeat simulates.  ``committed_uops`` is the stitched
+    whole-trace count; warmup commits cost wall-clock but are not credited,
+    so throughput is conservative.
+    """
+    import tempfile
+
+    from repro.registry import build_workload_source  # local: avoids import cycles
+    from repro.simulation.shard import run_sharded
+    from repro.workloads.source import FileTraceSource, write_trace_file
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    with tempfile.TemporaryDirectory(prefix="repro-shard-bench-") as tmp:
+        trace_path = Path(tmp) / f"{workload}.trc"
+        write_trace_file(
+            trace_path, build_workload_source(workload, num_uops=num_uops), name=workload
+        )
+        source = FileTraceSource(trace_path)
+        best: Optional[float] = None
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_sharded(
+                source,
+                variant=variant,
+                shards=shards,
+                warmup_uops=warmup_uops,
+                workers=workers,
+            )
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+    assert result is not None and best is not None
+    wall = max(best, 1e-9)
+    stats = result.stitched_stats
+    cell = BenchCell(
+        workload=workload,
+        variant=variant,
+        num_uops=num_uops,
+        committed_uops=stats.committed_uops,
+        cycles=stats.cycles,
+        wall_seconds=wall,
+        uops_per_second=stats.committed_uops / wall,
+        cycles_per_second=stats.cycles / wall,
+        stats_digest=stats_digest(stats),
+        shards=shards,
+    )
+    if progress is not None:
+        progress(
+            f"{workload:12s} {variant:16s} {cell.wall_seconds:8.3f}s "
+            f"{cell.uops_per_second:12.0f} uops/s "
+            f"({shards} shard(s), {workers} worker(s))"
+        )
+    return BenchReport(
+        schema=BENCH_SCHEMA_VERSION,
+        python=platform.python_version(),
+        platform=platform.platform(),
+        num_uops=num_uops,
+        repeats=repeats,
+        workloads=[workload],
+        variants=[variant],
+        cells=[cell],
+        total_wall_seconds=wall,
+        total_uops_per_second=cell.uops_per_second,
+        total_cycles_per_second=cell.cycles_per_second,
+        peak_rss_bytes=_peak_rss_bytes(),
+    )
+
+
 # ------------------------------------------------------------------- reports
 
 
@@ -264,7 +358,9 @@ def compare_cells(baseline: BenchReport, current: BenchReport) -> List[CellDelta
                 )
             )
             continue
-        comparable = base.num_uops == cell.num_uops
+        # Stitched (sharded) stats are estimates, so digests only gate cells
+        # that ran the same uop count with the same shard plan.
+        comparable = base.num_uops == cell.num_uops and base.shards == cell.shards
         deltas.append(
             CellDelta(
                 workload=cell.workload,
@@ -374,5 +470,9 @@ __all__ = [
     "load_report",
     "next_bench_path",
     "run_bench",
+    "run_sharded_bench",
+    "SHARD_BENCH_UOPS",
+    "SHARD_BENCH_VARIANT",
+    "SHARD_BENCH_WORKLOAD",
     "write_report",
 ]

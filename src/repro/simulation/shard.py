@@ -1,0 +1,273 @@
+"""Sharded single-trace replay: split one trace into windows, stitch the stats.
+
+A full-detail replay of a long recorded trace is embarrassingly serial — one
+core model, one commit stream.  This module trades a little accuracy for
+wall-clock: it splits the trace into ``N`` contiguous shards, runs each shard
+as an independent :class:`~repro.workloads.source.WindowedSource` job through
+the :class:`~repro.simulation.engine.ExperimentEngine` (process pool + result
+cache), and combines the per-shard statistics into whole-trace estimates with
+the same weighting rule the SimPoint path uses
+(:func:`~repro.simulation.simulator._weighted_core_stats`).
+
+Each shard after the first starts from a cold core, which is not how those
+micro-ops execute in an unsharded run.  Two mitigations keep the estimate
+honest:
+
+* a **warmup prefix**: each shard first simulates up to ``warmup_uops``
+  micro-ops *preceding* its window — warming caches, branch predictors and
+  queues — and the stats-reset seam in the core excludes those commits from
+  the shard's statistics;
+* **exactness by construction** for the degenerate plan: one shard with zero
+  warmup covers the whole trace, bypasses stitching entirely, and is
+  bit-identical to an ordinary :func:`~repro.simulation.simulator.run_variant`
+  call (it even shares the same result-cache key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.memory.hierarchy import HierarchyConfig
+from repro.serde import JSONSerializable
+from repro.simulation.engine import ExperimentEngine
+from repro.simulation.simulator import (
+    SimulationResult,
+    _weighted_core_stats,
+)
+from repro.uarch.config import CoreConfig
+from repro.uarch.stats import CoreStats
+from repro.workloads.source import TraceSource, as_source
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class Shard(JSONSerializable):
+    """One contiguous slice of a trace: warmup prefix plus measured window.
+
+    The measured micro-ops are ``[start, end)``; the shard's simulation
+    actually begins at ``warmup_start`` (``<= start``), and the commits in
+    ``[warmup_start, start)`` warm the core without being counted.
+    """
+
+    index: int
+    start: int
+    end: int
+    warmup_start: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.warmup_start <= self.start < self.end:
+            raise ValueError(
+                f"invalid shard bounds: warmup_start={self.warmup_start}, "
+                f"start={self.start}, end={self.end}"
+            )
+
+    @property
+    def measured_uops(self) -> int:
+        """Micro-ops whose execution counts in this shard's statistics."""
+        return self.end - self.start
+
+    @property
+    def warmup_uops(self) -> int:
+        """Micro-ops simulated before the window purely to warm the core."""
+        return self.start - self.warmup_start
+
+
+@dataclass(frozen=True)
+class ShardPlan(JSONSerializable):
+    """A deterministic split of a known-length trace into measured windows.
+
+    The shards partition ``[0, total_uops)`` exactly: contiguous,
+    non-overlapping, in order.  ``warmup_uops`` is the *requested* warmup;
+    each shard's actual prefix is clamped so it never reaches before the
+    trace's beginning (shard 0 always has zero warmup).
+    """
+
+    total_uops: int
+    warmup_uops: int
+    shards: Tuple[Shard, ...]
+
+    @property
+    def exact(self) -> bool:
+        """Whether this plan reproduces an unsharded run bit-for-bit.
+
+        True only for the single-shard, zero-warmup plan: the one window
+        covers the whole trace and the stitching step is skipped entirely.
+        """
+        return (
+            len(self.shards) == 1
+            and self.shards[0].warmup_uops == 0
+            and self.shards[0].start == 0
+            and self.shards[0].end == self.total_uops
+        )
+
+    def weights(self) -> List[float]:
+        """Each shard's share of the trace (sums to 1.0)."""
+        return [shard.measured_uops / self.total_uops for shard in self.shards]
+
+
+def plan_shards(total_uops: int, num_shards: int, warmup_uops: int = 0) -> ShardPlan:
+    """Split ``total_uops`` micro-ops into ``num_shards`` contiguous windows.
+
+    Windows are as equal as possible (the remainder goes to the earliest
+    shards, so sizes differ by at most one micro-op) and each shard's warmup
+    prefix is ``warmup_uops`` clamped at the trace's beginning.  More shards
+    than micro-ops is quietly clamped rather than an error — tiny traces
+    still shard.
+    """
+    if total_uops <= 0:
+        raise ValueError(f"cannot shard an empty trace (total_uops={total_uops})")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if warmup_uops < 0:
+        raise ValueError(f"warmup_uops must be >= 0, got {warmup_uops}")
+    num_shards = min(num_shards, total_uops)
+    base, remainder = divmod(total_uops, num_shards)
+    shards: List[Shard] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < remainder else 0)
+        end = start + size
+        shards.append(
+            Shard(
+                index=index,
+                start=start,
+                end=end,
+                warmup_start=max(0, start - warmup_uops),
+            )
+        )
+        start = end
+    return ShardPlan(
+        total_uops=total_uops, warmup_uops=warmup_uops, shards=tuple(shards)
+    )
+
+
+@dataclass
+class ShardResult(JSONSerializable):
+    """One shard's window run and its stitching weight."""
+
+    shard: Shard
+    weight: float
+    result: SimulationResult
+
+
+@dataclass
+class ShardedRunResult(JSONSerializable):
+    """A sharded replay: per-shard runs plus stitched whole-trace estimates."""
+
+    variant: str
+    trace_name: str
+    total_uops: int
+    warmup_uops: int
+    shards: List[ShardResult]
+    stitched_stats: CoreStats
+    #: True when the plan was the degenerate exact one (single shard, no
+    #: warmup): ``stitched_stats`` is then *the* whole-run statistics, not an
+    #: estimate.
+    exact: bool = False
+
+    @property
+    def stitched_ipc(self) -> float:
+        """Whole-trace IPC estimated from the stitched statistics."""
+        return self.stitched_stats.ipc
+
+    @property
+    def simulated_uops(self) -> int:
+        """Total micro-ops simulated, warmup prefixes included."""
+        return sum(
+            entry.shard.measured_uops + entry.shard.warmup_uops
+            for entry in self.shards
+        )
+
+
+def run_sharded(
+    trace: Union[Trace, TraceSource],
+    variant: str = "pre",
+    shards: int = 1,
+    warmup_uops: int = 0,
+    *,
+    engine: Optional[ExperimentEngine] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    config: Optional[CoreConfig] = None,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    max_cycles: Optional[int] = None,
+    probes: Sequence[str] = (),
+) -> ShardedRunResult:
+    """Replay one trace as ``shards`` parallel windows and stitch the stats.
+
+    The trace's length must be discoverable: recorded trace files and
+    in-memory traces know theirs; an unbounded generator source is
+    materialised first (at which point sharding it is pointless but legal).
+    ``probes`` must be registry names — every shard gets fresh instances, and
+    windowed jobs cross the engine's process/serde boundary.
+
+    ``shards=1`` with ``warmup_uops=0`` is the exact path: the single window
+    is normalised to an un-windowed job (same cache key as a plain replay)
+    and its statistics are returned as-is, skipping the weighted stitch and
+    its float round-off entirely.
+    """
+    for probe in probes:
+        if not isinstance(probe, str):
+            raise TypeError(
+                "run_sharded accepts probe registry names only (got "
+                f"{type(probe).__name__}): shard jobs cross a process "
+                "boundary and each shard needs fresh probe instances"
+            )
+    source = as_source(trace)
+    total = source.length
+    if total is None:
+        source = source.materialized()
+        total = source.length
+    plan = plan_shards(total, shards, warmup_uops)
+    if engine is None:
+        engine = ExperimentEngine(
+            workers=workers,
+            cache_dir=cache_dir,
+            config=config,
+            hierarchy_config=hierarchy_config,
+        )
+    results = engine.run_trace_windows(
+        source,
+        variant=variant,
+        windows=[
+            (shard.start, shard.end, shard.warmup_uops) for shard in plan.shards
+        ],
+        config=config,
+        hierarchy_config=hierarchy_config,
+        max_cycles=max_cycles,
+        probes=list(probes),
+    )
+    weights = plan.weights()
+    shard_results = [
+        ShardResult(shard=shard, weight=weight, result=result)
+        for shard, weight, result in zip(plan.shards, weights, results)
+    ]
+    if plan.exact:
+        # The single whole-trace window *is* the run; no weighting, no
+        # rounding — bit-identical to run_variant on the same source.
+        stitched = shard_results[0].result.stats
+    else:
+        stitched = _weighted_core_stats(
+            [(entry.result.stats, entry.weight) for entry in shard_results],
+            plan.total_uops,
+        )
+    return ShardedRunResult(
+        variant=variant,
+        trace_name=source.name,
+        total_uops=plan.total_uops,
+        warmup_uops=plan.warmup_uops,
+        shards=shard_results,
+        stitched_stats=stitched,
+        exact=plan.exact,
+    )
+
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "ShardResult",
+    "ShardedRunResult",
+    "plan_shards",
+    "run_sharded",
+]

@@ -37,7 +37,7 @@ from repro.uarch.core import OoOCore
 from repro.uarch.probes import Probe, build_probe, default_probes
 from repro.uarch.stats import CoreStats
 from repro.workloads.simpoint import SimPointSampler
-from repro.workloads.source import TraceSource, WindowedSource, as_source
+from repro.workloads.source import TraceSource, as_source
 from repro.workloads.trace import Trace
 
 #: Accepted workload argument: an eager trace or any streaming source.
@@ -115,13 +115,23 @@ def run_variant(
     energy_model: Optional[EnergyModel] = None,
     max_cycles: Optional[int] = None,
     probes: Optional[Sequence[ProbeLike]] = None,
+    warmup_uops: int = 0,
 ) -> SimulationResult:
-    """Simulate a trace or source on one runahead variant and return its results."""
+    """Simulate a trace or source on one runahead variant and return its results.
+
+    ``warmup_uops`` excludes the first that-many committed micro-ops from the
+    returned statistics (microarchitectural state is kept — that is the
+    point): shard runs use it so stats describe only the measured window
+    while caches, predictors and queues enter it warm.  ``0`` (the default)
+    is the exact, bit-identical whole-run path.
+    """
     if variant not in VARIANT_REGISTRY:
         raise ValueError(
             f"unknown variant {variant!r}; expected one of "
             f"{', '.join(VARIANT_REGISTRY.names())}"
         )
+    if warmup_uops < 0:
+        raise ValueError(f"warmup_uops must be >= 0, got {warmup_uops}")
     source = as_source(trace)
     config = config or CoreConfig()
     hierarchy = MemoryHierarchy(hierarchy_config)
@@ -134,7 +144,7 @@ def run_variant(
         controller=controller,
         probes=default_probes() + extra_probes,
     )
-    stats = core.run(max_cycles=max_cycles)
+    stats = core.run(max_cycles=max_cycles, stats_start_uop=warmup_uops or None)
     model = energy_model or EnergyModel()
     report = model.evaluate(
         variant=variant,
@@ -284,6 +294,9 @@ def run_simpoints(
     interval_size: int = 2_000,
     max_clusters: int = 4,
     seed: int = 0,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[Any] = None,
 ) -> SimPointRunResult:
     """Simulate only a workload's representative SimPoint intervals.
 
@@ -293,6 +306,15 @@ def run_simpoints(
     statistics are combined with the clusters' weights into whole-trace
     estimates — strictly fewer micro-ops simulated than a full run, one
     weighted answer out.
+
+    Interval runs go through the
+    :class:`~repro.simulation.engine.ExperimentEngine` window path: pass
+    ``workers``/``cache_dir`` (or a ready-made ``engine``) and intervals run
+    on the process pool and land in the shared
+    :class:`~repro.simulation.engine.ResultCache` — a repeated SimPoint run
+    re-simulates nothing.  A custom ``energy_model`` cannot cross the
+    engine's process/serde boundary, so that case runs the windows serially
+    in-process (the original path, identical results).
 
     ``probes`` must be registry *names*: each interval gets fresh probe
     instances, so per-interval ``probe_reports`` never accumulate state
@@ -311,26 +333,43 @@ def run_simpoints(
         interval_size=interval_size, max_clusters=max_clusters, seed=seed
     )
     intervals, total_uops = sampler.select_source(source)
-    interval_results: List[SimPointIntervalResult] = []
-    for interval in intervals:
-        window = WindowedSource(source, interval.start, interval.end, name=source.name)
-        result = run_variant(
-            window,
+    if energy_model is not None and engine is None:
+        results = [
+            run_variant(
+                source.window(interval.start, interval.end, name=source.name),
+                variant=variant,
+                config=config,
+                hierarchy_config=hierarchy_config,
+                energy_model=energy_model,
+                max_cycles=max_cycles,
+                probes=probes,
+            )
+            for interval in intervals
+        ]
+    else:
+        if engine is None:
+            # Local import: engine.py imports this module at load time.
+            from repro.simulation.engine import ExperimentEngine
+
+            engine = ExperimentEngine(workers=workers, cache_dir=cache_dir)
+        results = engine.run_trace_windows(
+            source,
             variant=variant,
+            windows=[(interval.start, interval.end, 0) for interval in intervals],
             config=config,
             hierarchy_config=hierarchy_config,
-            energy_model=energy_model,
             max_cycles=max_cycles,
-            probes=probes,
+            probes=list(probes or ()),
         )
-        interval_results.append(
-            SimPointIntervalResult(
-                start=interval.start,
-                end=interval.end,
-                weight=interval.weight,
-                result=result,
-            )
+    interval_results = [
+        SimPointIntervalResult(
+            start=interval.start,
+            end=interval.end,
+            weight=interval.weight,
+            result=result,
         )
+        for interval, result in zip(intervals, results)
+    ]
     weighted_stats = _weighted_core_stats(
         [(entry.result.stats, entry.weight) for entry in interval_results],
         total_uops,

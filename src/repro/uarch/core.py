@@ -26,6 +26,7 @@ through those scheduled events.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple, Union
 
@@ -91,6 +92,7 @@ class DynInstr:
         "completion_cycle",
         "is_load",
         "is_store",
+        "block_op",
     )
 
     def __init__(
@@ -126,6 +128,10 @@ class DynInstr:
         self.completion_cycle: Optional[int] = None
         self.is_load = uop.is_load
         self.is_store = uop.is_store
+        #: First source operand observed not ready by the issue-select scan
+        #: (a (is_fp, preg) pair), memoised so the scan can skip this entry
+        #: with one ready-bit read until that register becomes ready.
+        self.block_op: Optional[Tuple[bool, int]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(
@@ -201,6 +207,9 @@ class OoOCore:
         self._current_stall_seq: Optional[int] = None
         self._open_interval: Optional[RunaheadInterval] = None
         self._store_commit_stalled = False
+        #: Cycle at which statistics collection began (nonzero only when a
+        #: warmup prefix was excluded via ``run(stats_start_uop=...)``).
+        self._stats_cycle_base = 0
 
         self.controller = controller
         if controller is not None:
@@ -245,13 +254,26 @@ class OoOCore:
 
     # -------------------------------------------------------------------- run
 
-    def run(self, max_cycles: Optional[int] = None) -> CoreStats:
-        """Simulate until the whole trace commits (or ``max_cycles`` elapse)."""
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        stats_start_uop: Optional[int] = None,
+    ) -> CoreStats:
+        """Simulate until the whole trace commits (or ``max_cycles`` elapse).
+
+        ``stats_start_uop`` delays statistics collection until that many
+        micro-ops have committed: at the crossing every counter is reset in
+        place and ``cycles`` counts from that point on, so a shard's warmup
+        prefix (which only exists to warm caches, predictors and queues)
+        never leaks into the returned stats.  Microarchitectural state is
+        *not* reset — that is the entire point of the warmup.
+        """
         cursor = self.frontend.cursor
         probes_skipped = self.probes.cycles_skipped
         stats = self.stats
         step = self.step
         last_committed = self.committed_trace_uops
+        warmup_target = stats_start_uop or 0
         while True:
             total = cursor.known_length
             committed = self.committed_trace_uops
@@ -266,6 +288,11 @@ class OoOCore:
                 # cursor's trim floor; skip the call on all other iterations.
                 cursor.trim(committed)
                 last_committed = committed
+                if warmup_target and committed >= warmup_target:
+                    # Commit can overshoot the boundary by up to the pipeline
+                    # width inside one step; those commits are measured.
+                    self._begin_measurement(committed - warmup_target)
+                    warmup_target = 0
             if progress:
                 self.cycle += 1
                 continue
@@ -289,13 +316,36 @@ class OoOCore:
                 for probe in probes_skipped:
                     probe.on_cycles_skipped(self, self.cycle + 1, self.cycle + skipped)
             self.cycle += skipped
-        self.stats.cycles = self.cycle
+        self.stats.cycles = self.cycle - self._stats_cycle_base
         # Settle fills whose latency elapsed but that no later access drained,
         # so end-of-run cache/DRAM/writeback statistics cover the whole window
         # (fills still genuinely in flight at the final cycle stay uncounted).
         self.hierarchy.drain(self.cycle)
         self.probes.finish(self, self.stats)
         return self.stats
+
+    def _begin_measurement(self, already_measured: int) -> None:
+        """Zero the statistics at the warmup/measurement boundary.
+
+        Mutates :attr:`stats` in place — the object is shared with the
+        front-end and any attached probes, so it must keep its identity.
+        ``already_measured`` accounts for the commits by which the boundary
+        step overshot ``stats_start_uop`` (their load/store breakdown is
+        unrecoverable and stays zero; the count itself stays exact).
+        """
+        stats = self.stats
+        for stats_field in dataclasses.fields(CoreStats):
+            value = getattr(stats, stats_field.name)
+            if isinstance(value, int):
+                setattr(stats, stats_field.name, 0)
+            elif isinstance(value, list):
+                value.clear()
+        events = stats.events
+        for event_field in dataclasses.fields(type(events)):
+            setattr(events, event_field.name, 0)
+        stats.committed_uops = already_measured
+        events.committed_uops = already_measured
+        self._stats_cycle_base = self.cycle
 
     def step(self) -> bool:
         """Execute one cycle; return whether any stage made progress."""
@@ -507,23 +557,26 @@ class OoOCore:
                     return False
                 return True
 
+            selected = self.iq.select_ready(
+                cycle,
+                self.config.pipeline_width,
+                operand_ready,
+                self.config.max_loads_per_cycle,
+                self.config.max_stores_per_cycle,
+            )
         else:
             # Poison-free fast path (every cycle outside runahead mode): the
-            # readiness rule collapses to raw ready-bit reads, with no
-            # controller consultation and no set membership tests.
-            def operand_ready(instr: DynInstr) -> bool:
-                for is_fp, preg in instr.src_ops:
-                    if not (fp_ready[preg] if is_fp else int_ready[preg]):
-                        return False
-                return True
-
-        selected = self.iq.select_ready(
-            cycle,
-            self.config.pipeline_width,
-            operand_ready,
-            self.config.max_loads_per_cycle,
-            self.config.max_stores_per_cycle,
-        )
+            # readiness rule collapses to raw ready-bit reads, evaluated
+            # inside the issue queue's blocker-memoised scan with no
+            # per-cycle closure allocation and no set membership tests.
+            selected = self.iq.select_ready_fast(
+                cycle,
+                self.config.pipeline_width,
+                int_ready,
+                fp_ready,
+                self.config.max_loads_per_cycle,
+                self.config.max_stores_per_cycle,
+            )
         issued = 0
         events = self.stats.events
         for instr in selected:
@@ -769,29 +822,35 @@ class OoOCore:
     # ------------------------------------------------------------- wake logic
 
     def _next_wake_cycle(self) -> Optional[int]:
-        candidates: List[int] = []
+        # Running minimum over the wake candidates: this runs on every
+        # no-progress cycle (the stall fast path), so no candidate list is
+        # materialised — each source is compared against ``best`` in place.
+        cycle = self.cycle
+        best: Optional[int] = None
         if self._events:
-            candidates.append(self._events[0][0])
+            candidate = self._events[0][0]
+            if candidate > cycle:
+                best = candidate
         delivery = self.frontend.earliest_delivery_cycle()
-        if delivery is not None:
-            candidates.append(delivery)
+        if delivery is not None and delivery > cycle and (best is None or delivery < best):
+            best = delivery
         resume = self.frontend.next_resume_cycle()
-        if resume is not None and resume > self.cycle:
-            candidates.append(resume)
+        if resume is not None and resume > cycle and (best is None or resume < best):
+            best = resume
         if self.controller is not None:
-            wake = self.controller.next_wake_cycle(self.cycle)
-            if wake is not None:
-                candidates.append(wake)
+            wake = self.controller.next_wake_cycle(cycle)
+            if wake is not None and wake > cycle and (best is None or wake < best):
+                best = wake
         if self._store_commit_stalled:
             # A committed store is waiting for an MSHR entry to free; the
             # fills holding them are not all core-scheduled events (hardware
             # prefetches, instruction fetches), so wake when one completes.
-            free_at = self.hierarchy.mshrs.earliest_completion(self.cycle)
-            candidates.append(
-                free_at if free_at is not None and free_at > self.cycle else self.cycle + 1
-            )
-        future = [cycle for cycle in candidates if cycle > self.cycle]
-        return min(future) if future else None
+            free_at = self.hierarchy.mshrs.earliest_completion(cycle)
+            if free_at is None or free_at <= cycle:
+                free_at = cycle + 1
+            if best is None or free_at < best:
+                best = free_at
+        return best
 
     def _deadlock_report(self) -> str:
         head = self.rob.head()

@@ -161,9 +161,7 @@ class FrontEnd:
         if self._stalled_on_branch_seq is not None:
             return 0
         config = self.config
-        cursor = self.cursor
-        cursor_has = cursor.has
-        cursor_get = cursor.get
+        cursor_fetch = self.cursor.fetch
         pipe = self._pipe
         queue = self.uop_queue
         events = self.stats.events
@@ -181,9 +179,10 @@ class FrontEnd:
             fetched < fetch_width
             and len(pipe) < pipe_capacity
             and len(pipe) + len(queue) < total_budget
-            and cursor_has(fetch_index)
         ):
-            uop = cursor_get(fetch_index)
+            uop = cursor_fetch(fetch_index)
+            if uop is None:
+                break
             # Same-line fast path of _instruction_fetch_penalty, inlined:
             # consecutive micro-ops overwhelmingly share a fetch line.
             if (

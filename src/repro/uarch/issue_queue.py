@@ -116,6 +116,70 @@ class IssueQueue:
                 stores += 1
         return selected
 
+    def select_ready_fast(
+        self,
+        cycle: int,
+        width: int,
+        int_ready: List[bool],
+        fp_ready: List[bool],
+        max_loads: int,
+        max_stores: int,
+    ) -> List["DynInstr"]:
+        """Poison-free variant of :meth:`select_ready`.
+
+        Outside runahead mode readiness is exactly "every source register's
+        ready bit is set", so the core passes the raw ready-bit arrays and the
+        scan checks them inline — no per-entry callback.  Each entry also
+        memoises its first not-ready operand (``DynInstr.block_op``): while
+        that register's bit stays clear, the entry is skipped with a single
+        list index instead of a full operand scan.  The memo is only ever an
+        operand *observed* not ready, and a physically not-ready operand
+        implies not-ready under the poison-free rule, so a memo-driven skip
+        can never diverge from the full scan; poison-mode selection
+        (:meth:`select_ready`) simply ignores the memo, where a not-ready
+        register may still count as ready.
+        """
+        entries = self._entries
+        if not entries:
+            return []
+        if not self._sorted:
+            entries.sort(key=_SEQ_KEY)
+            self._sorted = True
+        selected: List["DynInstr"] = []
+        loads = 0
+        stores = 0
+        count = 0
+        for instr in entries:
+            if instr.earliest_issue_cycle > cycle:
+                continue
+            if instr.is_load:
+                if loads >= max_loads:
+                    continue
+            elif instr.is_store and stores >= max_stores:
+                continue
+            block = instr.block_op
+            if block is not None:
+                if not (fp_ready[block[1]] if block[0] else int_ready[block[1]]):
+                    continue
+                instr.block_op = None
+            ready = True
+            for op in instr.src_ops:
+                if not (fp_ready[op[1]] if op[0] else int_ready[op[1]]):
+                    instr.block_op = op
+                    ready = False
+                    break
+            if not ready:
+                continue
+            selected.append(instr)
+            count += 1
+            if count >= width:
+                break
+            if instr.is_load:
+                loads += 1
+            elif instr.is_store:
+                stores += 1
+        return selected
+
     def squash(self, predicate: Callable[["DynInstr"], bool]) -> List["DynInstr"]:
         """Remove every entry matching ``predicate``; return the removed entries."""
         removed = [instr for instr in self._entries if predicate(instr)]

@@ -35,6 +35,7 @@ import os
 import struct
 import tempfile
 from collections import deque
+from itertools import islice
 from pathlib import Path
 from typing import Callable, Deque, Dict, Iterable, Iterator, Optional, Union
 
@@ -70,6 +71,22 @@ class TraceSource:
         """Return a fresh iterator over the full micro-op stream."""
         raise NotImplementedError
 
+    def open_at(self, start: int) -> Iterator[MicroOp]:
+        """A fresh iterator positioned at micro-op index ``start``.
+
+        The default generates and discards the prefix; sources with cheaper
+        positioning (in-memory slicing, record-level skipping in trace files)
+        override this — it is the hot path of sharded replay, where every
+        shard's prefix is skipped, not simulated.
+        """
+        iterator = self.open()
+        for _ in range(start):
+            try:
+                next(iterator)
+            except StopIteration:
+                break
+        return iterator
+
     def __iter__(self) -> Iterator[MicroOp]:
         return self.open()
 
@@ -81,6 +98,14 @@ class TraceSource:
     def cursor(self) -> "StreamingCursor":
         """A windowed random-access reader over this source (one simulation's view)."""
         return StreamingCursor(self)
+
+    def window(self, start: int, end: int, name: Optional[str] = None) -> "WindowedSource":
+        """A view of this source restricted to ``[start, end)``.
+
+        Convenience constructor for :class:`WindowedSource`, used by the
+        SimPoint and shard execution paths.
+        """
+        return WindowedSource(self, start, end, name=name)
 
     def materialize(self) -> Trace:
         """Fully read the stream into an in-memory :class:`Trace`."""
@@ -155,6 +180,20 @@ class StreamingCursor:
         self._fill_to(index)
         return index < self._next
 
+    def fetch(self, index: int) -> Optional[MicroOp]:
+        """The micro-op at ``index``, or ``None`` past the end of the stream.
+
+        Equivalent to ``has(index)`` followed by ``get(index)`` in one call —
+        the front-end's fetch loop runs this once per micro-op, so collapsing
+        the pair halves the per-uop cursor overhead.  ``index`` must be at or
+        above the trim floor (fetch never rewinds below the commit point).
+        """
+        if index >= self._next:
+            self._fill_to(index)
+            if index >= self._next:
+                return None
+        return self._buffer[index - self._base]
+
     def get(self, index: int) -> MicroOp:
         """The micro-op at ``index``; raises if trimmed away or past the end."""
         if index < self._base:
@@ -197,6 +236,10 @@ class MaterializedCursor(StreamingCursor):
     def has(self, index: int) -> bool:
         return index < len(self._uops)
 
+    def fetch(self, index: int) -> Optional[MicroOp]:
+        uops = self._uops
+        return uops[index] if index < len(uops) else None
+
     def get(self, index: int) -> MicroOp:
         return self._uops[index]
 
@@ -225,6 +268,9 @@ class MaterializedTrace(TraceSource):
 
     def open(self) -> Iterator[MicroOp]:
         return iter(self.trace)
+
+    def open_at(self, start: int) -> Iterator[MicroOp]:
+        return islice(iter(self.trace), start, None)
 
     @property
     def length(self) -> Optional[int]:
@@ -293,12 +339,7 @@ class WindowedSource(TraceSource):
 
     def open(self) -> Iterator[MicroOp]:
         def _window() -> Iterator[MicroOp]:
-            iterator = self.base.open()
-            for _ in range(self.start):
-                try:
-                    next(iterator)
-                except StopIteration:
-                    return
+            iterator = self.base.open_at(self.start)
             remaining = self.end - self.start
             for uop in iterator:
                 if remaining <= 0:
@@ -403,7 +444,7 @@ def _decode_uop(stream: io.BufferedIOBase) -> MicroOp:
     )
 
 
-def _decode_stream(stream, count: int) -> Iterator[MicroOp]:
+def _decode_stream(stream, count: int, skip: int = 0) -> Iterator[MicroOp]:
     """Decode ``count`` records from ``stream`` in buffered blocks.
 
     Replaces the three-``struct.unpack``-plus-``_read_exact``-per-record
@@ -411,6 +452,13 @@ def _decode_stream(stream, count: int) -> Iterator[MicroOp]:
     buffer: the stream is touched once per ~4k records instead of 3-5 times
     per record.  Produces micro-ops byte-for-byte identical to
     :func:`_decode_uop` and raises :class:`TraceFileError` on truncation.
+
+    ``skip`` records are first passed over *without* building micro-ops —
+    only the fixed header and the two length-determining flag bits are
+    parsed — which is the sharded-replay prefix skip: positioning a shard
+    runs at buffer speed, not object-construction speed.  The skip shares
+    the decode loop's buffer, so the decoder picks up exactly where the
+    skip stopped.
     """
     fixed_unpack = _FIXED.unpack_from
     fixed_size = _FIXED.size
@@ -424,6 +472,27 @@ def _decode_stream(stream, count: int) -> Iterator[MicroOp]:
     buf = b""
     pos = 0
     limit = 0
+    remaining = skip
+    while remaining:
+        if limit - pos < _MAX_RECORD_BYTES:
+            buf = buf[pos:] + read(_DECODE_CHUNK_BYTES)
+            pos = 0
+            limit = len(buf)
+        if limit - pos < fixed_size:
+            raise TraceFileError(
+                f"truncated trace file: wanted {fixed_size} bytes, got {limit - pos}"
+            )
+        _, _, flags, _, nsrcs = fixed_unpack(buf, pos)
+        pos += fixed_size + nsrcs
+        if flags & _FLAG_MEM:
+            pos += mem_bytes
+        if flags & _FLAG_TARGET:
+            pos += target_bytes
+        if pos > limit:
+            raise TraceFileError(
+                f"truncated trace file: wanted {pos - limit} more bytes"
+            )
+        remaining -= 1
     remaining = count
     while remaining:
         if limit - pos < _MAX_RECORD_BYTES:
@@ -579,11 +648,18 @@ class FileTraceSource(TraceSource):
         return trace_file_digest(self.path)
 
     def open(self) -> Iterator[MicroOp]:
+        return self.open_at(0)
+
+    def open_at(self, start: int) -> Iterator[MicroOp]:
         def _records() -> Iterator[MicroOp]:
+            if start >= self._count:
+                return
             with open(self.path, "rb") as handle:
                 handle.readline(1 << 16)  # skip the header line
                 with gzip.GzipFile(fileobj=handle, mode="rb") as stream:
-                    yield from _decode_stream(stream, self._count)
+                    yield from _decode_stream(
+                        stream, self._count - start, skip=start
+                    )
 
         return _records()
 
