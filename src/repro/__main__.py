@@ -19,7 +19,18 @@ Six subcommands drive the experiment engine:
 * ``python -m repro study run|list|report`` — expand a registered
   sensitivity study (ROB scaling, EMQ capacity, MSHR x prefetcher, DRAM
   latency, ...) into its cartesian product of configurations, run every cell
-  through the cached engine, and render markdown/CSV curves.
+  through the cached engine, and render markdown/CSV curves;
+* ``python -m repro serve`` — run the always-on experiment service: a
+  durable HTTP/JSON job queue in front of the engine with a shared result
+  cache (see :mod:`repro.service`);
+* ``python -m repro submit|status`` — the service's thin client: post a
+  sweep/study/replay job document and follow its progress events;
+* ``python -m repro cache stats|prune`` — inspect a result cache and
+  LRU-evict it down to a byte bound, locally or through a running service.
+
+Exit codes are a stable contract (``repro.errors``): 0 success, 1 regression
+gate, 2 bad spec/arguments, 3 simulation failure, 75 service busy
+(``EX_TEMPFAIL``), 130 interrupted.
 
 Reproducing the paper end to end::
 
@@ -48,6 +59,7 @@ import ast
 import dataclasses
 import json
 import os
+import signal
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -56,6 +68,15 @@ from repro.analysis.report import (
     format_performance_figure,
     summarize_comparison,
 )
+from repro.errors import (
+    EXIT_BAD_SPEC,
+    EXIT_BUSY,
+    EXIT_INTERRUPTED,
+    EXIT_SIM_FAILURE,
+    BadSpecError,
+    SimulationError,
+)
+from repro.service.client import DEFAULT_SERVICE_URL, ServiceClient, ServiceError
 from repro.uarch.config import CoreConfig
 from repro.registry import (
     PROBE_REGISTRY,
@@ -63,7 +84,12 @@ from repro.registry import (
     WORKLOAD_REGISTRY,
     build_workload_source,
 )
-from repro.simulation.engine import ExperimentEngine, SweepResult, SweepSpec
+from repro.simulation.engine import (
+    ExperimentEngine,
+    ResultCache,
+    SweepResult,
+    SweepSpec,
+)
 from repro.simulation.golden import DEFAULT_GOLDEN_WORKLOADS
 from repro.workloads.source import (
     FileTraceSource,
@@ -80,7 +106,7 @@ def _parse_names(raw: str, available: Sequence[str], kind: str) -> List[str]:
         return list(available)
     names = [name.strip() for name in raw.split(",") if name.strip()]
     if not names:
-        raise SystemExit(f"no {kind} selected (got {raw!r})")
+        raise BadSpecError(f"no {kind} selected (got {raw!r})")
     return names
 
 
@@ -92,9 +118,9 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
         key, sep, value = pair.partition("=")
         key = key.strip()
         if not sep:
-            raise SystemExit(f"--set expects key=value, got {pair!r}")
+            raise BadSpecError(f"--set expects key=value, got {pair!r}")
         if key not in valid:
-            raise SystemExit(
+            raise BadSpecError(
                 f"--set: unknown CoreConfig field {key!r}; "
                 f"valid fields: {', '.join(sorted(valid))}"
             )
@@ -103,7 +129,7 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
         except (ValueError, SyntaxError):
             # Every CoreConfig field is numeric, so an unparseable value is a
             # user error, not a string field.
-            raise SystemExit(
+            raise BadSpecError(
                 f"--set: could not parse value {value.strip()!r} for {key!r} "
                 f"(expected a number)"
             )
@@ -222,7 +248,7 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     if args.shards is not None:
         return _trace_replay_sharded(args, variants)
     if args.warmup_uops:
-        raise SystemExit("--warmup-uops only applies to sharded replay (--shards N)")
+        raise BadSpecError("--warmup-uops only applies to sharded replay (--shards N)")
     engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
     sources = [FileTraceSource(path) for path in args.traces]
     names = [source.name for source in sources]
@@ -258,7 +284,7 @@ def _trace_replay_sharded(args: argparse.Namespace, variants: List[str]) -> int:
     from repro.simulation.shard import run_sharded
 
     if args.shards < 1:
-        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+        raise BadSpecError(f"--shards must be >= 1, got {args.shards}")
     engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
     sources = [FileTraceSource(path) for path in args.traces]
     names = [source.name for source in sources]
@@ -318,7 +344,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.max_slowdown is not None and not args.compare:
         # A gate with no baseline silently checks nothing; fail fast so a
         # CI job that drops --compare cannot turn permanently green.
-        raise SystemExit("--max-slowdown requires --compare PREV.json")
+        raise BadSpecError("--max-slowdown requires --compare PREV.json")
     if args.shards is not None:
         return _bench_sharded(args, perfbench)
     if args.quick:
@@ -383,7 +409,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _bench_sharded(args: argparse.Namespace, perfbench) -> int:
     """``bench --shards N``: time one long-trace sharded replay end to end."""
     if args.shards < 1:
-        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+        raise BadSpecError(f"--shards must be >= 1, got {args.shards}")
     num_uops = args.uops if args.uops is not None else perfbench.SHARD_BENCH_UOPS
     print(
         f"benchmarking sharded replay: {perfbench.SHARD_BENCH_WORKLOAD}/"
@@ -492,6 +518,130 @@ def _cmd_study_report(args: argparse.Namespace) -> int:
     if args.csv:
         write_study_csv(result, args.csv)
         print(f"per-cell curve data written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ExperimentService, serve
+
+    service = ExperimentService(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_queue=args.max_queue,
+        max_concurrent=args.max_concurrent,
+        max_cache_bytes=args.max_cache_bytes,
+        retry_after=args.retry_after,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    return asyncio.run(serve(service))
+
+
+def _load_document(path: str) -> Any:
+    """Read a job document from a file path, or ``-`` for stdin."""
+    try:
+        if path == "-":
+            return json.load(sys.stdin)
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except ValueError as exc:
+        raise BadSpecError(f"document is not valid JSON: {exc}") from exc
+
+
+def _job_failure_exit(summary: Dict[str, Any]) -> int:
+    """Map a failed job's stored HTTP status class to the CLI exit code."""
+    print(
+        f"error: job {summary['id']} failed: {summary.get('error')}",
+        file=sys.stderr,
+    )
+    return EXIT_BAD_SPEC if summary.get("error_status") == 400 else EXIT_SIM_FAILURE
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    document = _load_document(args.document)
+    client = ServiceClient(args.url)
+    response = client.submit(document)
+    cells = response.get("cells", {})
+    print(
+        f"job {response['id']} queued: {cells.get('cached', 0)}/"
+        f"{cells.get('total', 0)} cells already cached",
+        file=sys.stderr,
+    )
+    print(response["id"])
+    if args.no_wait:
+        return 0
+
+    def on_event(event: Dict[str, Any]) -> None:
+        if event.get("type") == "cell":
+            print(
+                f"  cell {event['done']}/{event['total']} ({event['source']})",
+                file=sys.stderr,
+            )
+
+    final = client.wait(response["id"], on_event=on_event)
+    if final["state"] == "failed":
+        return _job_failure_exit(final)
+    accounting = final.get("accounting") or {}
+    print(
+        f"done: {accounting.get('total', 0)} cells, "
+        f"{accounting.get('simulated', 0)} simulated, "
+        f"{accounting.get('cached', 0)} from cache",
+        file=sys.stderr,
+    )
+    if args.output:
+        result = client.result(final["id"])
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result["result"], handle)
+        print(f"result document written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.job:
+        summary = client.job(args.job)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        if summary.get("state") == "failed":
+            return _job_failure_exit(summary)
+        return 0
+    if args.jobs:
+        print(json.dumps(client.jobs(), indent=2, sort_keys=True))
+        return 0
+    print(json.dumps(client.status(), indent=2, sort_keys=True))
+    return 0
+
+
+def _require_cache_target(args: argparse.Namespace) -> None:
+    if bool(args.url) == bool(args.cache_dir):
+        raise BadSpecError(
+            "cache commands need exactly one of --cache-dir DIR (local) "
+            "or --url URL (a running service)"
+        )
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    _require_cache_target(args)
+    if args.url:
+        stats = ServiceClient(args.url).cache_stats()
+    else:
+        stats = ResultCache(args.cache_dir).stats().to_dict()
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    _require_cache_target(args)
+    if args.url:
+        result = ServiceClient(args.url).cache_prune(args.max_bytes)
+    else:
+        if args.max_bytes is None:
+            raise BadSpecError("cache prune --cache-dir needs --max-bytes N")
+        result = ResultCache(args.cache_dir).prune(args.max_bytes).to_dict()
+    print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -763,26 +913,180 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally write long-format per-cell curve data as CSV",
     )
     study_report.set_defaults(func=_cmd_study_report)
+
+    sub_serve = sub.add_parser(
+        "serve",
+        help="run the always-on experiment service (HTTP/JSON job queue)",
+    )
+    sub_serve.add_argument(
+        "--state-dir", default=".repro-service",
+        help="daemon state root: journal, results, default cache "
+             "(default: .repro-service)",
+    )
+    sub_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    sub_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port; 0 picks an ephemeral one (default: 8765)",
+    )
+    sub_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="engine worker processes per job (default: 1)",
+    )
+    sub_serve.add_argument(
+        "--cache-dir", default=None,
+        help="shared result-cache directory (default: STATE_DIR/cache)",
+    )
+    sub_serve.add_argument(
+        "--max-queue", type=int, default=8,
+        help="admission bound: queued jobs beyond this get 429 + Retry-After "
+             "(default: 8)",
+    )
+    sub_serve.add_argument(
+        "--max-concurrent", type=int, default=1,
+        help="jobs executing at once (default: 1)",
+    )
+    sub_serve.add_argument(
+        "--max-cache-bytes", type=int, default=None,
+        help="LRU-evict the result cache beyond this many bytes "
+             "(default: unbounded)",
+    )
+    sub_serve.add_argument(
+        "--retry-after", type=float, default=5.0,
+        help="Retry-After seconds advertised on 429 responses (default: 5)",
+    )
+    sub_serve.set_defaults(func=_cmd_serve)
+
+    sub_submit = sub.add_parser(
+        "submit", help="submit a job document to a running experiment service"
+    )
+    sub_submit.add_argument(
+        "document",
+        help="JSON job document path, or '-' for stdin: "
+             '{"kind": "sweep"|"study"|"replay", "spec": {...}}',
+    )
+    sub_submit.add_argument(
+        "--url", default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default: {DEFAULT_SERVICE_URL})",
+    )
+    sub_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit instead of following progress events",
+    )
+    sub_submit.add_argument(
+        "--output", default=None,
+        help="after completion, write the job's result document here",
+    )
+    sub_submit.set_defaults(func=_cmd_submit)
+
+    sub_status = sub.add_parser(
+        "status", help="query a running experiment service"
+    )
+    sub_status.add_argument(
+        "job", nargs="?", default=None,
+        help="job id to show (default: daemon-level status)",
+    )
+    sub_status.add_argument(
+        "--url", default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default: {DEFAULT_SERVICE_URL})",
+    )
+    sub_status.add_argument(
+        "--jobs", action="store_true", help="list every known job instead"
+    )
+    sub_status.set_defaults(func=_cmd_status)
+
+    sub_cache = sub.add_parser(
+        "cache", help="inspect or prune a result cache (local or via service)"
+    )
+    cache_sub = sub_cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and byte totals for a result cache"
+    )
+    cache_stats.add_argument(
+        "--cache-dir", default=None, help="local result-cache directory"
+    )
+    cache_stats.add_argument(
+        "--url", default=None, help="a running service's base URL instead"
+    )
+    cache_stats.set_defaults(func=_cmd_cache_stats)
+
+    cache_prune = cache_sub.add_parser(
+        "prune", help="LRU-evict cache entries down to a byte bound"
+    )
+    cache_prune.add_argument(
+        "--cache-dir", default=None, help="local result-cache directory"
+    )
+    cache_prune.add_argument(
+        "--url", default=None, help="a running service's base URL instead"
+    )
+    cache_prune.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict least-recently-used entries until the cache fits "
+             "(required with --cache-dir; --url defaults to the daemon's bound)",
+    )
+    cache_prune.set_defaults(func=_cmd_cache_prune)
     return parser
+
+
+def _raise_keyboard_interrupt(signum, frame) -> None:
+    raise KeyboardInterrupt
+
+
+def _install_sigterm_handler() -> None:
+    """Make SIGTERM unwind like Ctrl-C: pool cleanup runs, exit is 130.
+
+    Without this, SIGTERM during a ``--workers N`` run kills the process with
+    the ProcessPoolExecutor's children orphaned mid-write.  ``repro serve``
+    replaces it with the event loop's own handler for a journal-flushing
+    shutdown.
+    """
+    try:
+        signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except (ValueError, OSError):
+        pass  # not the main thread (embedded use); keep the default
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _install_sigterm_handler()
     try:
         return args.func(args)
     except BrokenPipeError:
         # stdout was closed early (e.g. piped into head); exit quietly.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except KeyboardInterrupt:
+        # SIGINT or SIGTERM: the engine has already cancelled/terminated its
+        # pool on the way out; report cleanly instead of a traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except BadSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_SPEC
+    except ServiceError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        if exc.status == 429:
+            if exc.retry_after is not None:
+                print(
+                    f"service busy; retry after {exc.retry_after:.0f}s",
+                    file=sys.stderr,
+                )
+            return EXIT_BUSY
+        return EXIT_BAD_SPEC if exc.status < 500 else EXIT_SIM_FAILURE
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SIM_FAILURE
     except (KeyError, ValueError) as exc:
         # Registry lookups raise KeyError and configuration validation raises
-        # ValueError, both with user-facing messages.
+        # ValueError, both with user-facing messages — bad-spec class.
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_SPEC
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_SPEC
 
 
 if __name__ == "__main__":

@@ -60,8 +60,15 @@ def to_jsonable(value: Any) -> Any:
     return value
 
 
-def from_jsonable(hint: Any, data: Any) -> Any:
-    """Rebuild a typed value from :func:`to_jsonable` output, guided by ``hint``."""
+def from_jsonable(hint: Any, data: Any, strict: bool = False) -> Any:
+    """Rebuild a typed value from :func:`to_jsonable` output, guided by ``hint``.
+
+    With ``strict=True``, dictionaries feeding dataclasses may not carry keys
+    the dataclass does not declare — unknown keys raise :class:`ValueError`
+    instead of being silently dropped.  The experiment service uses this to
+    turn a typo'd field in a submitted document into a clean 400 rather than
+    accepting (and mis-running) a spec the author never wrote.
+    """
     if hint is Any or hint is None:
         return data
     origin = typing.get_origin(hint)
@@ -70,7 +77,7 @@ def from_jsonable(hint: Any, data: Any) -> Any:
         if data is None:
             return None
         if len(args) == 1:
-            return from_jsonable(args[0], data)
+            return from_jsonable(args[0], data, strict)
         return data
     sequence_origins = (
         list,
@@ -81,9 +88,11 @@ def from_jsonable(hint: Any, data: Any) -> Any:
     if origin in sequence_origins or (origin is None and hint in (list, tuple)):
         args = typing.get_args(hint)
         if (origin is tuple or hint is tuple) and args and args[-1] is not Ellipsis:
-            return tuple(from_jsonable(arg, item) for arg, item in zip(args, data))
+            return tuple(
+                from_jsonable(arg, item, strict) for arg, item in zip(args, data)
+            )
         item_hint = args[0] if args else Any
-        items = [from_jsonable(item_hint, item) for item in data]
+        items = [from_jsonable(item_hint, item, strict) for item in data]
         return tuple(items) if origin is tuple or hint is tuple else items
     mapping_origins = (dict, collections.abc.Mapping, collections.abc.MutableMapping)
     if origin in mapping_origins or (origin is None and hint is dict):
@@ -91,13 +100,13 @@ def from_jsonable(hint: Any, data: Any) -> Any:
         key_hint = args[0] if len(args) == 2 else Any
         value_hint = args[1] if len(args) == 2 else Any
         return {
-            _decode_key(key_hint, key): from_jsonable(value_hint, item)
+            _decode_key(key_hint, key): from_jsonable(value_hint, item, strict)
             for key, item in data.items()
         }
     if isinstance(hint, type) and issubclass(hint, enum.Enum):
         return hint(data)
     if dataclasses.is_dataclass(hint) and isinstance(hint, type):
-        return _dataclass_from_jsonable(hint, data)
+        return _dataclass_from_jsonable(hint, data, strict)
     return data
 
 
@@ -122,17 +131,27 @@ def _decode_key(hint: Any, key: str) -> Any:
     return key
 
 
-def _dataclass_from_jsonable(cls: Type[T], data: Any) -> T:
+def _dataclass_from_jsonable(cls: Type[T], data: Any, strict: bool = False) -> T:
     if not isinstance(data, dict):
         raise TypeError(
             f"cannot rebuild {cls.__name__} from {type(data).__name__}; expected a dict"
         )
+    if strict:
+        known = {field.name for field in dataclasses.fields(cls) if field.init}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown field(s) {', '.join(map(repr, unknown))} for "
+                f"{cls.__name__}; valid fields: {', '.join(sorted(known))}"
+            )
     hints = _field_hints(cls)
     kwargs = {}
     for field in dataclasses.fields(cls):
         if not field.init or field.name not in data:
             continue
-        kwargs[field.name] = from_jsonable(hints.get(field.name, Any), data[field.name])
+        kwargs[field.name] = from_jsonable(
+            hints.get(field.name, Any), data[field.name], strict
+        )
     return cls(**kwargs)
 
 
@@ -149,9 +168,15 @@ class JSONSerializable:
         return to_jsonable(self)
 
     @classmethod
-    def from_dict(cls: Type[T], data: Dict[str, Any]) -> T:
-        """Rebuild an instance from :meth:`to_dict` output."""
-        return _dataclass_from_jsonable(cls, data)
+    def from_dict(cls: Type[T], data: Dict[str, Any], strict: bool = False) -> T:
+        """Rebuild an instance from :meth:`to_dict` output.
+
+        ``strict=True`` rejects unknown keys anywhere in the tree (see
+        :func:`from_jsonable`) — the contract for externally submitted
+        documents, where a silently dropped typo means running the wrong
+        experiment.
+        """
+        return _dataclass_from_jsonable(cls, data, strict)
 
     def to_json(self, **dumps_kwargs: Any) -> str:
         """Serialise to a JSON string."""

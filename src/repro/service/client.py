@@ -1,0 +1,157 @@
+"""Thin blocking HTTP client for the experiment service.
+
+``repro submit`` / ``repro status`` / ``repro cache --url`` are built on
+this; it is deliberately small (``http.client``, one request per
+connection, JSON in/out) so any other tenant — a notebook, a CI job — can
+use it or reimplement it in a dozen lines.
+
+Error taxonomy mirrors the server's: a 400 response raises
+:class:`ServiceError` with ``status=400`` (the CLI maps it to exit code 2,
+"bad spec"), a 5xx to exit code 3 ("simulation failure"), and 429 carries
+``retry_after`` parsed from the Retry-After header (exit code 75,
+``EX_TEMPFAIL``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Callable, Dict, Optional
+from urllib.parse import urlsplit
+
+from repro.errors import BadSpecError
+
+#: Where ``repro serve`` binds unless told otherwise.
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the experiment service."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        #: Seconds from the Retry-After header (429 responses only).
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Blocking JSON client for one experiment-service base URL."""
+
+    def __init__(self, base_url: str = DEFAULT_SERVICE_URL, timeout: float = 60.0):
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise BadSpecError(
+                f"service URL must be http://, got {base_url!r}"
+            )
+        netloc = parts.netloc or parts.path  # tolerate a bare host:port
+        if not netloc:
+            raise BadSpecError(f"invalid service URL {base_url!r}")
+        self.host = netloc.rsplit(":", 1)[0]
+        self.port = int(netloc.rsplit(":", 1)[1]) if ":" in netloc else 80
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """One JSON request/response; raises :class:`ServiceError` on non-2xx."""
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body).encode()
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw) if raw else {}
+            except ValueError:
+                data = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 300:
+                retry_after: Optional[float] = None
+                header = response.getheader("Retry-After")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        pass
+                raise ServiceError(
+                    response.status,
+                    data.get("error", f"unexpected status {response.status}"),
+                    retry_after=retry_after,
+                )
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------ endpoints
+
+    def submit(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/jobs`` — returns ``{"id", "state", "cells"}``."""
+        return self.request("POST", "/v1/jobs", document)
+
+    def status(self) -> Dict[str, Any]:
+        """``GET /v1/status`` — daemon-level summary."""
+        return self.request("GET", "/v1/status")
+
+    def jobs(self) -> Dict[str, Any]:
+        """``GET /v1/jobs`` — every known job's summary."""
+        return self.request("GET", "/v1/jobs")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>`` — one job's summary."""
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def events(
+        self, job_id: str, after: int = 0, timeout: float = 25.0
+    ) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/events`` — long-poll progress events."""
+        return self.request(
+            "GET", f"/v1/jobs/{job_id}/events?after={after}&timeout={timeout}"
+        )
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/result`` — the finished result document."""
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """``GET /v1/cache/stats``."""
+        return self.request("GET", "/v1/cache/stats")
+
+    def cache_prune(self, max_bytes: Optional[int] = None) -> Dict[str, Any]:
+        """``POST /v1/cache/prune``."""
+        body = {} if max_bytes is None else {"max_bytes": max_bytes}
+        return self.request("POST", "/v1/cache/prune", body)
+
+    # ----------------------------------------------------------- composites
+
+    def wait(
+        self,
+        job_id: str,
+        poll_timeout: float = 25.0,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Follow a job's events until it reaches a terminal state.
+
+        Long-polls ``/events`` (so progress streams without busy-waiting),
+        invoking ``on_event`` per event, and returns the final job summary.
+        ``deadline`` is a monotonic-clock timestamp; ``None`` waits forever.
+        """
+        after = 0
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(504, f"timed out waiting for job {job_id}")
+            chunk = self.events(job_id, after=after, timeout=poll_timeout)
+            for event in chunk.get("events", []):
+                if on_event is not None:
+                    on_event(event)
+            after = chunk.get("next", after)
+            if chunk.get("state") in ("done", "failed"):
+                return self.job(job_id)
+
+
+__all__ = ["DEFAULT_SERVICE_URL", "ServiceClient", "ServiceError"]

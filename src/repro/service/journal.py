@@ -1,0 +1,149 @@
+"""The durable job queue: an fsync'd append-only journal plus its replay.
+
+Durability contract: the admission response for ``POST /v1/jobs`` is not
+sent until the job's ``submitted`` event is flushed *and fsync'd* to the
+journal.  From that moment a killed daemon cannot lose the job — on restart
+:func:`replay_journal` folds the event log into per-job records, and every
+job whose latest state is ``queued`` or ``running`` is re-enqueued (the
+result cache makes re-execution of already-finished cells free, so a job
+killed mid-run only re-simulates its unfinished cells).
+
+The journal is JSON-lines, one event per line::
+
+    {"event": "submitted", "id": "j000001", "seq": 1, "document": {...}, ...}
+    {"event": "started",   "id": "j000001"}
+    {"event": "finished",  "id": "j000001", "accounting": {...}}
+    {"event": "failed",    "id": "j000001", "status": 500, "error": "..."}
+
+A torn final line (the daemon died mid-append) is ignored on replay; every
+complete line before it is intact because appends are single ``write`` calls
+followed by ``flush`` + ``fsync``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class JobRecord:
+    """One job's current state, as folded from the journal."""
+
+    id: str
+    seq: int
+    document: Dict[str, Any]
+    state: str = "queued"
+    description: str = ""
+    cells: Dict[str, int] = field(default_factory=dict)
+    accounting: Optional[Dict[str, int]] = None
+    error: Optional[str] = None
+    #: HTTP status class of a failure (400 bad spec vs 500 simulation crash).
+    error_status: int = 500
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON shape ``GET /v1/jobs`` and ``GET /v1/jobs/<id>`` return."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "kind": self.document.get("kind"),
+            "description": self.description,
+            "cells": self.cells,
+        }
+        if self.accounting is not None:
+            payload["accounting"] = self.accounting
+        if self.error is not None:
+            payload["error"] = self.error
+            payload["error_status"] = self.error_status
+        return payload
+
+
+class JobJournal:
+    """Append-only, fsync'd event log backing the service's job queue."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        # Admission appends from executor threads; the worker loop appends
+        # from the event-loop thread.  One lock keeps lines whole.
+        self._lock = threading.Lock()
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Durably append one event (returns only after fsync)."""
+        line = json.dumps(event, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def replay_journal(path: Union[str, Path]) -> List[JobRecord]:
+    """Fold a journal file into job records, in submission order.
+
+    Unknown events and a torn trailing line are skipped; events referencing
+    jobs with no ``submitted`` record are ignored (they cannot be resumed
+    without their document).
+    """
+    path = Path(path)
+    records: Dict[str, JobRecord] = {}
+    if not path.exists():
+        return []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a mid-append kill
+            if not isinstance(event, dict):
+                continue
+            name = event.get("event")
+            job_id = event.get("id")
+            if name == "submitted" and isinstance(job_id, str):
+                records[job_id] = JobRecord(
+                    id=job_id,
+                    seq=int(event.get("seq", 0)),
+                    document=event.get("document") or {},
+                    description=event.get("description", ""),
+                    cells=event.get("cells") or {},
+                )
+            elif job_id in records:
+                record = records[job_id]
+                if name == "started":
+                    record.state = "running"
+                elif name == "finished":
+                    record.state = "done"
+                    record.accounting = event.get("accounting")
+                elif name == "failed":
+                    record.state = "failed"
+                    record.error = event.get("error", "unknown error")
+                    record.error_status = int(event.get("status", 500))
+    return sorted(records.values(), key=lambda record: record.seq)
+
+
+def next_seq(records: List[JobRecord]) -> int:
+    """The first unused submission sequence number."""
+    return max((record.seq for record in records), default=0) + 1
+
+
+__all__ = ["JOB_STATES", "JobJournal", "JobRecord", "next_seq", "replay_journal"]

@@ -1,0 +1,697 @@
+"""``repro serve`` — the always-on asyncio experiment service.
+
+One process, three moving parts:
+
+* an **asyncio HTTP/JSON API** (stdlib streams, HTTP/1.1, one request per
+  connection) — see the route table in :meth:`ExperimentService._dispatch`;
+* a **durable job queue**: admission appends an fsync'd ``submitted`` event
+  to the journal *before* the 202 response is sent, so a killed daemon
+  resumes every incomplete job on restart (:mod:`repro.service.journal`);
+* a **worker loop** feeding the shared
+  :class:`~repro.simulation.engine.ExperimentEngine`: bounded concurrency
+  (``max_concurrent`` jobs at a time, each with the engine's own process
+  pool underneath), per-cell progress events, and a shared content-addressed
+  result cache that dedupes across tenants.
+
+Backpressure: when ``max_queue`` jobs are already waiting, ``POST /v1/jobs``
+returns **429 with a Retry-After header** instead of accepting unbounded
+work.  Dedupe: the admission response reports how many of the document's
+cells are already in the shared cache — a fully-cached submission runs in
+milliseconds without simulating anything.
+
+Graceful shutdown: SIGINT/SIGTERM stop admission, cancel running jobs at
+their next cell boundary (completed cells are already in the result cache),
+flush the journal, and exit — interrupted jobs stay ``queued``/``running``
+in the journal and resume on the next start.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    BadSpecError,
+    JobCancelled,
+)
+from repro.service.documents import ParsedDocument, parse_document
+from repro.service.journal import JobJournal, JobRecord, next_seq, replay_journal
+from repro.simulation.engine import ExperimentEngine
+
+#: Largest accepted request body; a SweepSpec/StudySpec is a few KB.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Default long-poll timeout for ``GET /v1/jobs/<id>/events`` (seconds).
+DEFAULT_EVENT_TIMEOUT = 25.0
+
+_HTTP_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _Job:
+    """Runtime state wrapped around a journal :class:`JobRecord`."""
+
+    def __init__(self, record: JobRecord) -> None:
+        self.record = record
+        #: Progress events, each ``{"seq": n, "type": ..., ...}``.
+        self.events: List[Dict[str, Any]] = []
+        #: Futures of long-poll waiters, resolved on the next event.
+        self.waiters: List[asyncio.Future] = []
+
+    @property
+    def terminal(self) -> bool:
+        return self.record.state in ("done", "failed")
+
+
+class ExperimentService:
+    """The experiment daemon: HTTP API + durable queue + engine workers.
+
+    Construct, then ``await start()`` inside a running event loop (or use
+    :class:`ServiceThread` / :func:`serve` which do it for you).  ``port=0``
+    binds an ephemeral port, published as ``self.port`` after ``start()``.
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        max_queue: int = 8,
+        max_concurrent: int = 1,
+        max_cache_bytes: Optional[int] = None,
+        retry_after: float = 5.0,
+        start_paused: bool = False,
+        log=None,
+    ) -> None:
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.results_dir = self.state_dir / "results"
+        self.results_dir.mkdir(exist_ok=True)
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.max_concurrent = max_concurrent
+        self.retry_after = retry_after
+        self.start_paused = start_paused
+        self._log = log or (lambda line: None)
+        self.engine = ExperimentEngine(
+            workers=workers,
+            cache_dir=cache_dir if cache_dir is not None else self.state_dir / "cache",
+        )
+        assert self.engine.cache is not None
+        self.engine.cache.max_bytes = max_cache_bytes
+        self.journal = JobJournal(self.state_dir / "journal.jsonl")
+        self.jobs: Dict[str, _Job] = {}
+        self._queue: "asyncio.Queue[str]" = asyncio.Queue()
+        self._next_seq = 1
+        #: Threading (not asyncio) event: checked from executor threads at
+        #: every cell boundary to cancel running engine work cooperatively.
+        self._stop = threading.Event()
+        self._interrupted_jobs = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="repro-job"
+        )
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind the listener, recover journaled jobs, start workers."""
+        self._loop = asyncio.get_running_loop()
+        self._recover()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if not self.start_paused:
+            self.resume_workers()
+        self._log(
+            f"repro service listening on http://{self.host}:{self.port} "
+            f"(state: {self.state_dir}, cache: {self.engine.cache.directory})"
+        )
+
+    def _recover(self) -> None:
+        """Replay the journal; re-enqueue every job that never finished."""
+        records = replay_journal(self.journal.path)
+        self._next_seq = next_seq(records)
+        resumed = 0
+        for record in records:
+            job = _Job(record)
+            self.jobs[record.id] = job
+            if record.state in ("queued", "running"):
+                record.state = "queued"
+                self._queue.put_nowait(record.id)
+                resumed += 1
+        if resumed:
+            self._log(f"journal recovery: resuming {resumed} incomplete job(s)")
+
+    def resume_workers(self) -> None:
+        """Start the worker tasks (no-op if already running)."""
+        assert self._loop is not None
+        while len(self._worker_tasks) < self.max_concurrent:
+            self._worker_tasks.append(self._loop.create_task(self._worker_loop()))
+
+    async def stop(self) -> int:
+        """Graceful shutdown; returns the process exit code.
+
+        Stops admission, cancels running jobs at their next cell boundary,
+        waits for worker threads to unwind, flushes/closes the journal.
+        Returns ``EXIT_INTERRUPTED`` when a running job was cut short (it
+        stays incomplete in the journal and resumes on restart), else 0.
+        """
+        self._stop.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Join the worker *threads* first: they observe _stop at their next
+        # cell boundary and return a "cancelled" outcome, which the worker
+        # tasks must still be alive to record (cancelling the tasks first
+        # would discard the outcome with the cancelled future).
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self._executor.shutdown(wait=True)
+        )
+        for _ in range(500):  # let outcome processing drain (bounded ~5s)
+            if not any(
+                job.record.state == "running" for job in self.jobs.values()
+            ):
+                break
+            await asyncio.sleep(0.01)
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks.clear()
+        self.journal.close()
+        return EXIT_INTERRUPTED if self._interrupted_jobs else EXIT_OK
+
+    # ------------------------------------------------------------ job worker
+
+    async def _worker_loop(self) -> None:
+        assert self._loop is not None
+        while True:
+            job_id = await self._queue.get()
+            job = self.jobs.get(job_id)
+            if job is None or job.record.state not in ("queued",):
+                continue
+            job.record.state = "running"
+            self.journal.append({"event": "started", "id": job_id})
+            self._post_event(job, {"type": "started"})
+            try:
+                outcome = await self._loop.run_in_executor(
+                    self._executor, self._execute_job, job
+                )
+            except asyncio.CancelledError:
+                # stop() cancelled us mid-await; the thread unwinds on its
+                # own via the _stop flag and the job resumes next start.
+                raise
+            kind = outcome[0]
+            if kind == "ok":
+                _, result_doc, accounting = outcome
+                self._write_result(job_id, result_doc)
+                job.record.accounting = accounting
+                job.record.state = "done"
+                self.journal.append(
+                    {"event": "finished", "id": job_id, "accounting": accounting}
+                )
+                self._post_event(job, {"type": "done", "accounting": accounting})
+                self._log(f"job {job_id} done: {accounting}")
+            elif kind == "cancelled":
+                # No journal event: the job is still queued/running on disk
+                # and will be resumed by the next daemon start.
+                job.record.state = "queued"
+                self._interrupted_jobs += 1
+                self._log(f"job {job_id} interrupted; will resume on restart")
+            else:
+                _, status, message = outcome
+                job.record.state = "failed"
+                job.record.error = message
+                job.record.error_status = status
+                self.journal.append(
+                    {"event": "failed", "id": job_id, "status": status,
+                     "error": message}
+                )
+                self._post_event(
+                    job, {"type": "failed", "status": status, "error": message}
+                )
+                self._log(f"job {job_id} failed ({status}): {message}")
+
+    def _execute_job(self, job: _Job) -> Tuple[Any, ...]:
+        """Run one job in a worker thread; never raises (returns outcomes).
+
+        Per-job accounting is counted from the engine's progress callback
+        (not ``engine.last_run_stats``), so concurrent jobs sharing the
+        engine cannot misattribute each other's cells.
+        """
+        counts = {"total": 0, "cached": 0, "simulated": 0}
+        loop = self._loop
+        assert loop is not None
+
+        def progress(done: int, total: int, kind: str) -> None:
+            if self._stop.is_set():
+                raise JobCancelled()
+            counts[kind] += 1
+            counts["total"] = total
+            loop.call_soon_threadsafe(
+                self._post_event,
+                job,
+                {"type": "cell", "done": done, "total": total, "source": kind},
+            )
+
+        try:
+            parsed: ParsedDocument = parse_document(job.record.document)
+            result_doc = parsed.execute(self.engine, progress=progress)
+        except JobCancelled:
+            return ("cancelled", None, None)
+        except BadSpecError as exc:
+            return ("failed", 400, str(exc))
+        except BaseException as exc:  # noqa: BLE001 — worker must not leak
+            return ("failed", 500, f"{type(exc).__name__}: {exc}")
+        return ("ok", result_doc, counts)
+
+    def _write_result(self, job_id: str, result_doc: Dict[str, Any]) -> None:
+        """Persist a finished job's result document atomically."""
+        path = self.results_dir / f"{job_id}.json"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.results_dir), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result_doc, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -------------------------------------------------------------- events
+
+    def _post_event(self, job: _Job, event: Dict[str, Any]) -> None:
+        """Append one progress event and wake every long-poll waiter."""
+        event = dict(event)
+        event["seq"] = len(job.events) + 1
+        job.events.append(event)
+        waiters, job.waiters = job.waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def _wait_for_events(self, job: _Job, after: int, timeout: float) -> None:
+        """Block until ``job`` has events beyond ``after`` (or timeout)."""
+        if len(job.events) > after or job.terminal:
+            return
+        assert self._loop is not None
+        waiter: asyncio.Future = self._loop.create_future()
+        job.waiters.append(waiter)
+        try:
+            await asyncio.wait_for(waiter, timeout)
+        except asyncio.TimeoutError:
+            pass
+
+    # ------------------------------------------------------------ admission
+
+    def queued_jobs(self) -> int:
+        """Jobs admitted but not yet running (the admission bound's measure)."""
+        return sum(1 for job in self.jobs.values() if job.record.state == "queued")
+
+    async def _admit(self, document: Any) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """``POST /v1/jobs``: validate, dedupe-probe, journal, enqueue."""
+        if self.queued_jobs() >= self.max_queue:
+            return (
+                429,
+                {
+                    "error": "admission queue is full",
+                    "queued": self.queued_jobs(),
+                    "max_queue": self.max_queue,
+                    "retry_after": self.retry_after,
+                },
+                {"Retry-After": str(int(max(1, self.retry_after)))},
+            )
+        assert self._loop is not None
+        # Parsing reads trace headers and the dedupe probe stats cache files:
+        # both are I/O, so neither runs on the event loop.
+        parsed = await self._loop.run_in_executor(
+            None, lambda: parse_document(document)
+        )
+        cells = await self._loop.run_in_executor(
+            None, lambda: parsed.cache_probe(self.engine)
+        )
+        if self.queued_jobs() >= self.max_queue:  # re-check across the await
+            return (
+                429,
+                {
+                    "error": "admission queue is full",
+                    "queued": self.queued_jobs(),
+                    "max_queue": self.max_queue,
+                    "retry_after": self.retry_after,
+                },
+                {"Retry-After": str(int(max(1, self.retry_after)))},
+            )
+        seq = self._next_seq
+        self._next_seq += 1
+        job_id = f"j{seq:06d}"
+        record = JobRecord(
+            id=job_id,
+            seq=seq,
+            document=parsed.document,
+            description=parsed.describe(),
+            cells=cells,
+        )
+        job = _Job(record)
+        self.jobs[job_id] = job
+        # Durability point: the fsync'd submitted event *is* the admission.
+        # Only after it returns may the client be told the job exists.
+        await self._loop.run_in_executor(
+            None,
+            self.journal.append,
+            {
+                "event": "submitted",
+                "id": job_id,
+                "seq": seq,
+                "document": parsed.document,
+                "description": record.description,
+                "cells": cells,
+            },
+        )
+        self._queue.put_nowait(job_id)
+        self._log(f"job {job_id} admitted: {record.description} (cells: {cells})")
+        return 202, {"id": job_id, "state": "queued", "cells": cells}, {}
+
+    # ----------------------------------------------------------- HTTP layer
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload, headers = 500, {"error": "internal error"}, {}
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return  # client closed without sending a request
+            status, payload, headers = await self._dispatch(*request)
+        except _HttpError as exc:
+            status, payload, headers = exc.status, {"error": exc.message}, {}
+        except BadSpecError as exc:
+            status, payload, headers = 400, {"error": str(exc)}, {}
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the loop
+            status, payload, headers = 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        try:
+            body = json.dumps(payload).encode()
+            lines = [
+                f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'Unknown')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                "Connection: close",
+            ]
+            lines.extend(f"{name}: {value}" for name, value in headers.items())
+            writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, List[str]], Any]]:
+        try:
+            request_line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise _HttpError(400, "request line too long")
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = request_line.decode("ascii").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body: Any = None
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                raise _HttpError(400, "request body is not valid JSON")
+        parts = urlsplit(target)
+        return method.upper(), parts.path.rstrip("/"), parse_qs(parts.query), body
+
+    async def _dispatch(
+        self, method: str, path: str, query: Dict[str, List[str]], body: Any
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if path == "/v1/jobs":
+            if method == "POST":
+                return await self._admit(body)
+            if method == "GET":
+                return (
+                    200,
+                    {"jobs": [job.record.summary() for job in self.jobs.values()]},
+                    {},
+                )
+            raise _HttpError(405, f"{method} not supported on {path}")
+        if path == "/v1/status":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not supported on {path}")
+            states: Dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.record.state] = states.get(job.record.state, 0) + 1
+            return (
+                200,
+                {
+                    "state_dir": str(self.state_dir),
+                    "jobs": states,
+                    "queued": self.queued_jobs(),
+                    "max_queue": self.max_queue,
+                    "max_concurrent": self.max_concurrent,
+                    "workers": self.engine.workers,
+                    "paused": not self._worker_tasks,
+                    "cache": self.engine.cache.stats().to_dict(),
+                },
+                {},
+            )
+        if path == "/v1/cache/stats":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not supported on {path}")
+            return 200, self.engine.cache.stats().to_dict(), {}
+        if path == "/v1/cache/prune":
+            if method != "POST":
+                raise _HttpError(405, f"{method} not supported on {path}")
+            max_bytes = (body or {}).get("max_bytes")
+            if max_bytes is None and self.engine.cache.max_bytes is None:
+                raise _HttpError(
+                    400, "prune needs max_bytes (service has no configured bound)"
+                )
+            assert self._loop is not None
+            result = await self._loop.run_in_executor(
+                None, lambda: self.engine.cache.prune(max_bytes)
+            )
+            return 200, result.to_dict(), {}
+        if path.startswith("/v1/jobs/"):
+            return await self._dispatch_job(method, path, query)
+        raise _HttpError(404, f"no route for {path!r}")
+
+    async def _dispatch_job(
+        self, method: str, path: str, query: Dict[str, List[str]]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        parts = path.split("/")  # ['', 'v1', 'jobs', '<id>', maybe more]
+        job = self.jobs.get(parts[3])
+        if job is None:
+            raise _HttpError(404, f"no such job {parts[3]!r}")
+        if len(parts) == 4:
+            if method != "GET":
+                raise _HttpError(405, f"{method} not supported on {path}")
+            summary = job.record.summary()
+            summary["events"] = len(job.events)
+            return 200, summary, {}
+        if len(parts) == 5 and parts[4] == "events":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not supported on {path}")
+            after = int(query.get("after", ["0"])[0])
+            timeout = min(
+                float(query.get("timeout", [str(DEFAULT_EVENT_TIMEOUT)])[0]), 120.0
+            )
+            await self._wait_for_events(job, after, timeout)
+            events = [event for event in job.events if event["seq"] > after]
+            return (
+                200,
+                {
+                    "id": job.record.id,
+                    "state": job.record.state,
+                    "events": events,
+                    "next": after + len(events),
+                },
+                {},
+            )
+        if len(parts) == 5 and parts[4] == "result":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not supported on {path}")
+            if job.record.state == "failed":
+                return (
+                    job.record.error_status,
+                    {"error": job.record.error, "id": job.record.id},
+                    {},
+                )
+            if job.record.state != "done":
+                raise _HttpError(
+                    404, f"job {job.record.id} is {job.record.state}, not done"
+                )
+            assert self._loop is not None
+            path_obj = self.results_dir / f"{job.record.id}.json"
+            try:
+                result_doc = await self._loop.run_in_executor(
+                    None, lambda: json.loads(path_obj.read_text(encoding="utf-8"))
+                )
+            except (OSError, ValueError):
+                raise _HttpError(
+                    500, f"result document for {job.record.id} is missing/corrupt"
+                )
+            return (
+                200,
+                {
+                    "id": job.record.id,
+                    "kind": job.record.document.get("kind"),
+                    "accounting": job.record.accounting,
+                    "result": result_doc,
+                },
+                {},
+            )
+        raise _HttpError(404, f"no route for {path!r}")
+
+
+class _HttpError(Exception):
+    """An HTTP-visible request error."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+# ----------------------------------------------------------- embedding helpers
+
+
+class ServiceThread:
+    """Run an :class:`ExperimentService` on a background event loop.
+
+    The test suite's (and any embedder's) way to get a real listening server
+    without blocking the calling thread::
+
+        handle = ServiceThread(state_dir=tmp, max_queue=2)
+        try:
+            client = ServiceClient(handle.base_url)
+            ...
+        finally:
+            handle.stop()
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        self.service: Optional[ExperimentService] = None
+        self.error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, kwargs=service_kwargs, daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start within 30s")
+        if self.error is not None:
+            raise self.error
+
+    def _run(self, **service_kwargs: Any) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.service = ExperimentService(**service_kwargs)
+            self._loop.run_until_complete(self.service.start())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to the caller
+            self.error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        self._loop.run_forever()
+
+    @property
+    def base_url(self) -> str:
+        assert self.service is not None
+        return f"http://{self.service.host}:{self.service.port}"
+
+    def resume(self) -> None:
+        """Start the workers of a ``start_paused=True`` service."""
+        assert self._loop is not None and self.service is not None
+        self._loop.call_soon_threadsafe(self.service.resume_workers)
+
+    def stop(self, timeout: float = 30.0) -> int:
+        """Gracefully stop the service and join its thread."""
+        assert self._loop is not None and self.service is not None
+        future = asyncio.run_coroutine_threadsafe(self.service.stop(), self._loop)
+        code = future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        self._loop.close()
+        return code
+
+
+async def serve(service: ExperimentService) -> int:
+    """Run ``service`` until SIGINT/SIGTERM; returns the process exit code."""
+    await service.start()
+    loop = asyncio.get_running_loop()
+    stop_requested = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_requested.set)
+        except (NotImplementedError, RuntimeError):
+            # Platforms without loop signal support fall back to the default
+            # KeyboardInterrupt path, which the CLI maps to EXIT_INTERRUPTED.
+            pass
+    await stop_requested.wait()
+    print("shutting down: flushing journal ...", file=sys.stderr)
+    return await service.stop()
+
+
+__all__ = [
+    "DEFAULT_EVENT_TIMEOUT",
+    "ExperimentService",
+    "MAX_BODY_BYTES",
+    "ServiceThread",
+    "serve",
+]

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro.workloads  # noqa: F401  (imported for its workload registrations)
+from repro.errors import JobCancelled
 from repro.memory.hierarchy import HierarchyConfig
 from repro.registry import PROBE_REGISTRY, VARIANT_REGISTRY, WORKLOAD_REGISTRY, build_workload
 from repro.serde import JSONSerializable, canonical_json
@@ -379,23 +380,68 @@ def _execute_batch(payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 # --------------------------------------------------------------- result cache
 
 
+@dataclass
+class CacheStats(JSONSerializable):
+    """A point-in-time snapshot of a :class:`ResultCache` directory."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+    max_bytes: Optional[int] = None
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class PruneResult(JSONSerializable):
+    """What one :meth:`ResultCache.prune` pass removed and what remains."""
+
+    evicted: int
+    freed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+
+
 class ResultCache:
     """On-disk cache of finished simulation cells, keyed by content hash.
 
     One JSON file per cell.  Corrupt or unreadable entries degrade to cache
-    misses; writes go through a temp file + atomic rename so a crashed run
-    never leaves a half-written entry behind.
+    misses; writes go through a temp file + atomic rename so a crashed run —
+    or a second engine/server sharing the directory — never observes a
+    half-written entry.
+
+    With ``max_bytes`` set, the cache is size-bounded: every write is
+    followed by a least-recently-*used* eviction pass (hits refresh an
+    entry's mtime, so recency means last use, not last write).  ``prune``
+    can also be invoked explicitly — the ``repro cache prune`` CLI and the
+    service's ``POST /v1/cache/prune`` endpoint do exactly that.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self, directory: Union[str, Path], max_bytes: Optional[int] = None
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def path_for(self, key: str) -> Path:
         """The file that does or would hold ``key``'s result."""
         return self.directory / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` has a cached entry (no counters, no payload read).
+
+        The admission-time dedupe probe: the service counts how many of a
+        submitted document's cells are already cached without perturbing the
+        hit/miss accounting of the run that will actually consume them.
+        """
+        return self.path_for(key).is_file()
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Return the cached payload for ``key``, or ``None`` on a miss."""
@@ -406,6 +452,10 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
+        try:
+            os.utime(path)  # refresh recency so LRU eviction spares hot entries
+        except OSError:
+            pass  # entry may have raced with another process's prune
         self.hits += 1
         return payload
 
@@ -425,14 +475,73 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self.prune()
+
+    def _entries(self) -> List[Tuple[Path, int, float]]:
+        """Every live entry as ``(path, size, mtime)``; racing deletes skipped."""
+        entries: List[Tuple[Path, int, float]] = []
+        for path in self.directory.glob("*.json"):
+            # pathlib's "*" matches dotfiles, so exclude in-flight temp files.
+            if path.name.startswith("."):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted/removed by a concurrent process
+            entries.append((path, stat.st_size, stat.st_mtime))
+        return entries
+
+    def stats(self) -> CacheStats:
+        """Entry count and on-disk footprint, plus this instance's counters."""
+        entries = self._entries()
+        return CacheStats(
+            directory=str(self.directory),
+            entries=len(entries),
+            total_bytes=sum(size for _, size, _ in entries),
+            max_bytes=self.max_bytes,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+        )
+
+    def prune(self, max_bytes: Optional[int] = None) -> PruneResult:
+        """Evict least-recently-used entries until the cache fits ``max_bytes``.
+
+        ``max_bytes`` defaults to the cache's own bound; passing an explicit
+        value (including ``0``, meaning "empty the cache") does a one-off
+        pass without changing the configured bound.  Entries another process
+        already removed are skipped, so concurrent prunes are safe.
+        """
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        if bound is None:
+            raise ValueError("prune needs max_bytes (no bound configured)")
+        if bound < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {bound}")
+        entries = sorted(self._entries(), key=lambda entry: entry[2])  # oldest first
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        freed = 0
+        for path, size, _ in entries:
+            if total <= bound:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue  # already gone: someone else evicted it
+            total -= size
+            freed += size
+            evicted += 1
+        self.evictions += evicted
+        return PruneResult(
+            evicted=evicted,
+            freed_bytes=freed,
+            remaining_entries=len(entries) - evicted,
+            remaining_bytes=total,
+        )
 
     def __len__(self) -> int:
-        # pathlib's "*" matches dotfiles, so exclude in-flight temp files.
-        return sum(
-            1
-            for path in self.directory.glob("*.json")
-            if not path.name.startswith(".")
-        )
+        return len(self._entries())
 
 
 # --------------------------------------------------------------------- engine
@@ -472,8 +581,13 @@ class ExperimentEngine:
 
     # ----------------------------------------------------------- public API
 
-    def run_sweep(self, spec: SweepSpec) -> SweepResult:
-        """Run a full sweep spec and return one comparison grid per config."""
+    def expand_sweep_payloads(self, spec: SweepSpec) -> List[Dict[str, Any]]:
+        """Expand a sweep spec into engine job payloads without running them.
+
+        The admission seam for the experiment service: expanding first lets a
+        caller compute cache keys (:meth:`cache_probe`) and report how much of
+        a submitted sweep is already deduped *before* scheduling anything.
+        """
         variants = spec.resolved_variants()
         workloads = spec.resolved_workloads()
         probes = spec.resolved_probes()
@@ -503,8 +617,28 @@ class ExperimentEngine:
                             probes=probes,
                         )
                     )
+        return payloads
 
-        results = self._run_jobs(payloads)
+    def cache_probe(self, payloads: Sequence[Dict[str, Any]]) -> Tuple[int, int]:
+        """``(cached, total)`` cells among ``payloads``, without running them.
+
+        Uses :meth:`ResultCache.contains`, so the probe never perturbs
+        hit/miss accounting.  With no cache configured everything counts as
+        uncached.
+        """
+        if self.cache is None:
+            return 0, len(payloads)
+        cached = sum(
+            1 for payload in payloads if self.cache.contains(_job_cache_key(payload))
+        )
+        return cached, len(payloads)
+
+    def run_sweep(self, spec: SweepSpec, progress=None) -> SweepResult:
+        """Run a full sweep spec and return one comparison grid per config."""
+        variants = spec.resolved_variants()
+        workloads = spec.resolved_workloads()
+        override_sets = [dict(overrides) for overrides in spec.configs] or [{}]
+        results = self._run_jobs(self.expand_sweep_payloads(spec), progress=progress)
         cells: List[SweepCell] = []
         cursor = 0
         grid = len(workloads) * len(variants)
@@ -603,7 +737,9 @@ class ExperimentEngine:
             jobs, resolve_variants(variants), max_cycles, probes
         )
 
-    def run_jobs(self, jobs: Sequence[JobSpec]) -> List[SimulationResult]:
+    def run_jobs(
+        self, jobs: Sequence[JobSpec], progress=None
+    ) -> List[SimulationResult]:
         """Run heterogeneous, individually-configured cells in one engine pass.
 
         Jobs are validated up front (unknown workload/variant/probe names fail
@@ -611,6 +747,10 @@ class ExperimentEngine:
         through the same cache + pool machinery as sweeps, so results come
         back in job order and ``last_run_stats`` accounts for the whole batch.
         """
+        return self._run_jobs(self.expand_job_payloads(jobs), progress=progress)
+
+    def expand_job_payloads(self, jobs: Sequence[JobSpec]) -> List[Dict[str, Any]]:
+        """Validate and expand :class:`JobSpec`\\ s into engine job payloads."""
         payloads: List[Dict[str, Any]] = []
         file_digests: Dict[str, str] = {}
         for job in jobs:
@@ -650,7 +790,7 @@ class ExperimentEngine:
                     warmup_uops=job.warmup_uops,
                 )
             )
-        return self._run_jobs(payloads)
+        return payloads
 
     def _file_source(
         self, path: Union[str, Path], digests: Dict[str, str]
@@ -680,6 +820,7 @@ class ExperimentEngine:
         hierarchy_config: Optional[HierarchyConfig] = None,
         max_cycles: Optional[int] = None,
         probes: Sequence[str] = (),
+        progress=None,
     ) -> List[SimulationResult]:
         """Run windows of one trace as independent cells (the shard path).
 
@@ -690,6 +831,28 @@ class ExperimentEngine:
         plain (un-windowed) job, so it shares cache entries — and bit-exact
         results — with ordinary full-trace replays of the same source.
         """
+        payloads = self.expand_trace_window_payloads(
+            trace,
+            variant,
+            windows,
+            config=config,
+            hierarchy_config=hierarchy_config,
+            max_cycles=max_cycles,
+            probes=probes,
+        )
+        return self._run_jobs(payloads, progress=progress)
+
+    def expand_trace_window_payloads(
+        self,
+        trace: Union[Trace, TraceSource],
+        variant: str,
+        windows: Sequence[Tuple[int, int, int]],
+        config: Optional[CoreConfig] = None,
+        hierarchy_config: Optional[HierarchyConfig] = None,
+        max_cycles: Optional[int] = None,
+        probes: Sequence[str] = (),
+    ) -> List[Dict[str, Any]]:
+        """Expand trace windows into engine job payloads without running them."""
         VARIANT_REGISTRY.get(variant)
         for name in probes:
             PROBE_REGISTRY.get(name)
@@ -727,7 +890,7 @@ class ExperimentEngine:
                     warmup_uops=0 if window is None else warmup,
                 )
             )
-        return self._run_jobs(payloads)
+        return payloads
 
     def run_workloads(
         self,
@@ -751,12 +914,24 @@ class ExperimentEngine:
 
     # ------------------------------------------------------------ execution
 
-    def _run_jobs(self, payloads: List[Dict[str, Any]]) -> List[SimulationResult]:
-        """Run jobs in their given order; cache first, then pool or serial."""
+    def _run_jobs(
+        self, payloads: List[Dict[str, Any]], progress=None
+    ) -> List[SimulationResult]:
+        """Run jobs in their given order; cache first, then pool or serial.
+
+        ``progress`` (optional) is called as ``progress(done, total, kind)``
+        with ``kind`` in ``{"cached", "simulated"}`` after every resolved
+        cell — the service streams these as job events.  Simulated cells are
+        written to the cache *as they complete* (not after the whole batch),
+        so a killed run resumes from every cell that finished.  A ``progress``
+        callback may raise :class:`~repro.errors.JobCancelled` to abort the
+        run between cells; outstanding pool work is then cancelled.
+        """
         stats = EngineRunStats(total_jobs=len(payloads))
         outputs: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(payloads)
+        done = 0
 
         for index, payload in enumerate(payloads):
             if self.cache is not None:
@@ -765,41 +940,93 @@ class ExperimentEngine:
                 if cached is not None:
                     outputs[index] = cached
                     stats.cache_hits += 1
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(payloads), "cached")
                     continue
             pending.append(index)
 
         if pending:
-            fresh = self._execute_pending([payloads[i] for i in pending])
-            for index, produced in zip(pending, fresh):
+
+            def on_result(offset: int, produced: Dict[str, Any]) -> None:
+                nonlocal done
+                index = pending[offset]
                 outputs[index] = produced
                 stats.simulated += 1
                 if self.cache is not None and keys[index] is not None:
                     self.cache.put(keys[index], produced)
+                done += 1
+                if progress is not None:
+                    progress(done, len(payloads), "simulated")
+
+            self._execute_pending([payloads[i] for i in pending], on_result)
 
         self.last_run_stats = stats
         return [SimulationResult.from_dict(output) for output in outputs]
 
-    def _execute_pending(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    def _execute_pending(self, payloads: List[Dict[str, Any]], on_result) -> None:
+        """Execute uncached payloads, delivering each result via ``on_result``.
+
+        ``on_result(offset, produced)`` is invoked in submission order.  On
+        SIGINT/SIGTERM (or a cancellation raised by the caller's callback),
+        outstanding futures are cancelled and worker processes terminated
+        before the exception propagates — a Ctrl-C no longer tracebacks out
+        of ``ProcessPoolExecutor``'s shutdown machinery with workers leaked.
+        """
         batches = self._batch_payloads(payloads)
+        delivered = 0
         if self.workers > 1 and len(batches) > 1:
+            pool: Optional[ProcessPoolExecutor] = None
+            futures: List[Any] = []
             try:
                 max_workers = min(self.workers, len(batches))
-                with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                    futures = [pool.submit(_execute_batch, batch) for batch in batches]
-                    return [result for future in futures for result in future.result()]
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+                futures = [pool.submit(_execute_batch, batch) for batch in batches]
+                for future in futures:
+                    for result in future.result():
+                        on_result(delivered, result)
+                        delivered += 1
+                pool.shutdown(wait=True)
+                return
+            except (KeyboardInterrupt, SystemExit, JobCancelled):
+                self._abort_pool(pool, futures)
+                raise
             except (OSError, PermissionError, BrokenProcessPool):
                 # Process pools are unavailable or the workers were killed
                 # (restricted sandbox, missing /dev/shm, OOM killer, ...):
                 # fall back to in-process execution, which produces identical
                 # results.
-                pass
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
             except KeyError:
                 # A worker could not resolve a registry name that the parent
                 # validated before submission: the platform's process start
                 # method (spawn) did not inherit runtime registrations.  The
                 # in-process fallback has them.
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+        # Serial path, also the pool's fallback: skip results a partially
+        # successful pool run already delivered (they are cached/recorded).
+        for offset, payload in enumerate(payloads):
+            if offset < delivered:
+                continue
+            on_result(offset, _execute_job(payload))
+
+    @staticmethod
+    def _abort_pool(pool: Optional[ProcessPoolExecutor], futures: List[Any]) -> None:
+        """Best-effort immediate teardown of an interrupted process pool."""
+        if pool is None:
+            return
+        for future in futures:
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        # cancel_futures only stops *pending* work; running workers would
+        # otherwise keep simulating until their current batch finishes.
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except Exception:
                 pass
-        return [_execute_job(payload) for payload in payloads]
 
     @staticmethod
     def _batch_payloads(payloads: List[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
@@ -829,9 +1056,11 @@ class ExperimentEngine:
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CacheStats",
     "EngineRunStats",
     "ExperimentEngine",
     "JobSpec",
+    "PruneResult",
     "ResultCache",
     "SweepCell",
     "SweepResult",

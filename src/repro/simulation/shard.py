@@ -25,7 +25,7 @@ honest:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.memory.hierarchy import HierarchyConfig
@@ -193,6 +193,7 @@ def run_sharded(
     hierarchy_config: Optional[HierarchyConfig] = None,
     max_cycles: Optional[int] = None,
     probes: Sequence[str] = (),
+    progress=None,
 ) -> ShardedRunResult:
     """Replay one trace as ``shards`` parallel windows and stitch the stats.
 
@@ -237,6 +238,7 @@ def run_sharded(
         hierarchy_config=hierarchy_config,
         max_cycles=max_cycles,
         probes=list(probes),
+        progress=progress,
     )
     weights = plan.weights()
     shard_results = [
@@ -263,11 +265,78 @@ def run_sharded(
     )
 
 
+# ------------------------------------------------------- declarative replays
+
+
+@dataclass
+class ReplaySpec(JSONSerializable):
+    """A serde-round-trippable description of one sharded trace replay.
+
+    The spec-to-job adapter for the experiment service: a submitted
+    ``{"kind": "replay"}`` document parses into this, expands into engine
+    window payloads (for admission-time cache dedupe) and executes via
+    :func:`run_replay_spec` — the same path ``trace replay --shards`` takes,
+    minus the CLI.  ``trace_file`` must be a recorded trace path readable by
+    the server; its *content digest* (not the path) keys the cache.
+    """
+
+    trace_file: str
+    variant: str = "pre"
+    shards: int = 1
+    warmup_uops: int = 0
+    max_cycles: Optional[int] = None
+    probes: List[str] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on bounds the planner would reject anyway."""
+        if not self.trace_file:
+            raise ValueError("replay spec needs a trace_file path")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.warmup_uops < 0:
+            raise ValueError(f"warmup_uops must be >= 0, got {self.warmup_uops}")
+
+    def plan(self, total_uops: int) -> ShardPlan:
+        """The shard plan this spec implies for a trace of ``total_uops``."""
+        self.validate()
+        return plan_shards(total_uops, self.shards, self.warmup_uops)
+
+    def windows(self, total_uops: int) -> List[Tuple[int, int, int]]:
+        """``(start, end, warmup)`` triples for the engine's window API."""
+        return [
+            (shard.start, shard.end, shard.warmup_uops)
+            for shard in self.plan(total_uops).shards
+        ]
+
+
+def run_replay_spec(
+    spec: ReplaySpec,
+    engine: Optional[ExperimentEngine] = None,
+    progress=None,
+) -> ShardedRunResult:
+    """Execute a :class:`ReplaySpec` through ``engine`` (the service path)."""
+    from repro.workloads.source import FileTraceSource
+
+    spec.validate()
+    return run_sharded(
+        FileTraceSource(spec.trace_file),
+        variant=spec.variant,
+        shards=spec.shards,
+        warmup_uops=spec.warmup_uops,
+        engine=engine,
+        max_cycles=spec.max_cycles,
+        probes=list(spec.probes),
+        progress=progress,
+    )
+
+
 __all__ = [
+    "ReplaySpec",
     "Shard",
     "ShardPlan",
     "ShardResult",
     "ShardedRunResult",
     "plan_shards",
+    "run_replay_spec",
     "run_sharded",
 ]

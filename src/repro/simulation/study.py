@@ -299,20 +299,16 @@ class StudyResult(JSONSerializable):
 # ----------------------------------------------------------------- execution
 
 
-def run_study(
-    spec: StudySpec,
-    engine: Optional[ExperimentEngine] = None,
-    progress=None,
-) -> StudyResult:
-    """Expand ``spec`` and run every cell through ``engine`` in one pass.
+def study_jobs(spec: StudySpec, engine: ExperimentEngine) -> List[JobSpec]:
+    """Expand ``spec``'s cartesian product into fully-configured engine jobs.
 
-    All points' cells go to the engine as a single job batch, so parallelism
-    spans the whole cartesian product (not one pool per point) and
-    ``engine.last_run_stats`` accounts for the entire study — which is how
-    the CLI (and CI) asserts that a warm-cache re-run simulates nothing.
-    ``progress`` (optional) is called with one descriptive line per phase.
+    The spec-to-job adapter shared by :func:`run_study` and the experiment
+    service: the service expands a submitted study document through this,
+    turns the jobs into payloads (``engine.expand_job_payloads``) and probes
+    the result cache to report dedupe accounting *at admission time*, before
+    anything is scheduled.  Base configs come from ``engine`` so both callers
+    resolve overrides identically.
     """
-    engine = engine or ExperimentEngine()
     points = spec.expand()
     workloads = spec.resolved_workloads()
     variants = spec.resolved_variants()
@@ -335,13 +331,37 @@ def run_study(
                         probes=list(spec.probes),
                     )
                 )
+    return jobs
+
+
+def run_study(
+    spec: StudySpec,
+    engine: Optional[ExperimentEngine] = None,
+    progress=None,
+    cell_progress=None,
+) -> StudyResult:
+    """Expand ``spec`` and run every cell through ``engine`` in one pass.
+
+    All points' cells go to the engine as a single job batch, so parallelism
+    spans the whole cartesian product (not one pool per point) and
+    ``engine.last_run_stats`` accounts for the entire study — which is how
+    the CLI (and CI) asserts that a warm-cache re-run simulates nothing.
+    ``progress`` (optional) is called with one descriptive line per phase;
+    ``cell_progress`` is the engine's per-cell callback
+    (``(done, total, kind)``), which the service streams as job events.
+    """
+    engine = engine or ExperimentEngine()
+    points = spec.expand()
+    workloads = spec.resolved_workloads()
+    variants = spec.resolved_variants()
+    jobs = study_jobs(spec, engine)
     if progress is not None:
         progress(
             f"study {spec.name!r}: {len(points)} points x {len(workloads)} workloads "
             f"x {len(variants)} variants = {len(jobs)} cells "
             f"({spec.num_uops} micro-ops each)"
         )
-    results = engine.run_jobs(jobs)
+    results = engine.run_jobs(jobs, progress=cell_progress)
     stats: EngineRunStats = engine.last_run_stats
     per_point = len(workloads) * len(variants)
     point_results: List[StudyPointResult] = []
@@ -510,4 +530,5 @@ __all__ = [
     "build_study",
     "register_study",
     "run_study",
+    "study_jobs",
 ]

@@ -152,11 +152,12 @@ class TestRegressionGate:
         assert deltas[-1].speedup is None
         assert comparison_failures(deltas, max_slowdown_percent=25.0) == []
 
-    def test_cli_rejects_max_slowdown_without_compare(self):
+    def test_cli_rejects_max_slowdown_without_compare(self, capsys):
         from repro.__main__ import main
+        from repro.errors import EXIT_BAD_SPEC
 
-        with pytest.raises(SystemExit, match="requires --compare"):
-            main(["bench", "--no-write", "--max-slowdown", "25"])
+        assert main(["bench", "--no-write", "--max-slowdown", "25"]) == EXIT_BAD_SPEC
+        assert "requires --compare" in capsys.readouterr().err
 
     def test_cli_exits_nonzero_on_divergence(self, tiny_report, tmp_path, capsys):
         from repro.__main__ import main
