@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Refresh the committed cache-key schema fingerprint golden.
+
+Run this after bumping ``CACHE_SCHEMA_VERSION`` in
+``src/repro/simulation/engine.py`` (which you must do whenever a
+cache-key-visible dataclass gains/loses/renames/retypes a field — the
+``cache-schema`` lint rule enforces the pairing):
+
+    PYTHONPATH=src python scripts/capture_schema_fingerprint.py
+
+and commit the updated ``tests/goldens/schema_fingerprint.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.lint.schema import GOLDEN_RELPATH, current_record  # noqa: E402
+
+
+def main() -> int:
+    golden_path = REPO_ROOT / GOLDEN_RELPATH
+    record = current_record()
+    previous = None
+    if golden_path.is_file():
+        previous = json.loads(golden_path.read_text(encoding="utf-8"))
+    golden_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(golden_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if previous is None:
+        print(f"wrote {golden_path} (new): fingerprint {record['fingerprint'][:12]}…")
+    elif previous == record:
+        print(f"{golden_path} already up to date ({record['fingerprint'][:12]}…)")
+    else:
+        print(
+            f"updated {golden_path}: "
+            f"version {previous.get('cache_schema_version')} -> "
+            f"{record['cache_schema_version']}, "
+            f"fingerprint {str(previous.get('fingerprint'))[:12]}… -> "
+            f"{record['fingerprint'][:12]}…"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

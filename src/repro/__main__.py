@@ -26,11 +26,14 @@ Six subcommands drive the experiment engine:
 * ``python -m repro submit|status`` — the service's thin client: post a
   sweep/study/replay job document and follow its progress events;
 * ``python -m repro cache stats|prune`` — inspect a result cache and
-  LRU-evict it down to a byte bound, locally or through a running service.
+  LRU-evict it down to a byte bound, locally or through a running service;
+* ``python -m repro lint`` — run the repo-invariant static-analysis pass
+  (determinism sanitizer, cache-schema drift gate, hot-path lint, taxonomy /
+  privacy / probe hygiene) over ``src/repro``.
 
 Exit codes are a stable contract (``repro.errors``): 0 success, 1 regression
-gate, 2 bad spec/arguments, 3 simulation failure, 75 service busy
-(``EX_TEMPFAIL``), 130 interrupted.
+gate, 2 bad spec/arguments, 3 simulation failure, 4 lint findings, 75 service
+busy (``EX_TEMPFAIL``), 130 interrupted.
 
 Reproducing the paper end to end::
 
@@ -72,6 +75,9 @@ from repro.errors import (
     EXIT_BAD_SPEC,
     EXIT_BUSY,
     EXIT_INTERRUPTED,
+    EXIT_LINT_FINDINGS,
+    EXIT_OK,
+    EXIT_REGRESSION,
     EXIT_SIM_FAILURE,
     BadSpecError,
     SimulationError,
@@ -167,7 +173,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("Sensitivity studies (run with 'python -m repro study run'):")
     for entry in STUDY_REGISTRY.entries():
         print(f"  {entry.name:26s} {entry.description}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -201,7 +207,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle)
         print(f"\nfull sweep result written to {args.output}", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -212,7 +218,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"configuration overrides: {cell.overrides}")
             print()
         _print_comparison(cell.comparison, args.figure)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
@@ -223,7 +229,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     print(f"recorded {count} micro-ops of {args.workload!r} to {args.output}")
     print(f"  file size : {size} bytes ({size / max(count, 1):.2f} B/uop compressed)")
     print(f"  digest    : {digest}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_trace_info(args: argparse.Namespace) -> int:
@@ -240,7 +246,7 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
         print(f"  branches : {stats.num_branches}")
         print(f"  unique PCs: {stats.unique_pcs} ({stats.unique_load_pcs} load PCs)")
         print(f"  footprint: {stats.footprint_bytes} bytes")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_trace_replay(args: argparse.Namespace) -> int:
@@ -276,7 +282,7 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(comparison.to_dict(), handle)
         print(f"\nfull comparison written to {args.output}", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _trace_replay_sharded(args: argparse.Namespace, variants: List[str]) -> int:
@@ -335,7 +341,7 @@ def _trace_replay_sharded(args: argparse.Namespace, variants: List[str]) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(output, handle)
         print(f"\nsharded results written to {args.output}", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -402,8 +408,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
-            return 1
-    return 0
+            return EXIT_REGRESSION
+    return EXIT_OK
 
 
 def _bench_sharded(args: argparse.Namespace, perfbench) -> int:
@@ -445,8 +451,8 @@ def _bench_sharded(args: argparse.Namespace, perfbench) -> int:
             )
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
-            return 1
-    return 0
+            return EXIT_REGRESSION
+    return EXIT_OK
 
 
 def _cmd_study_list(args: argparse.Namespace) -> int:
@@ -455,7 +461,7 @@ def _cmd_study_list(args: argparse.Namespace) -> int:
     if args.quiet:
         for name in STUDY_REGISTRY.names():
             print(name)
-        return 0
+        return EXIT_OK
     print("Registered sensitivity studies (run with 'python -m repro study run'):")
     for entry in STUDY_REGISTRY.entries():
         spec = entry.create()
@@ -467,7 +473,7 @@ def _cmd_study_list(args: argparse.Namespace) -> int:
             + " x ".join(f"{axis.name}[{len(axis.points)}]" for axis in spec.axes)
             + f" -> {points} points, {cells} cells at {spec.num_uops} uops"
         )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_study_run(args: argparse.Namespace) -> int:
@@ -505,7 +511,7 @@ def _cmd_study_run(args: argparse.Namespace) -> int:
     if args.csv:
         write_study_csv(result, args.csv)
         print(f"per-cell curve data written to {args.csv}", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_study_report(args: argparse.Namespace) -> int:
@@ -518,7 +524,7 @@ def _cmd_study_report(args: argparse.Namespace) -> int:
     if args.csv:
         write_study_csv(result, args.csv)
         print(f"per-cell curve data written to {args.csv}", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -573,7 +579,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     print(response["id"])
     if args.no_wait:
-        return 0
+        return EXIT_OK
 
     def on_event(event: Dict[str, Any]) -> None:
         if event.get("type") == "cell":
@@ -597,7 +603,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(result["result"], handle)
         print(f"result document written to {args.output}", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -607,12 +613,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(json.dumps(summary, indent=2, sort_keys=True))
         if summary.get("state") == "failed":
             return _job_failure_exit(summary)
-        return 0
+        return EXIT_OK
     if args.jobs:
         print(json.dumps(client.jobs(), indent=2, sort_keys=True))
-        return 0
+        return EXIT_OK
     print(json.dumps(client.status(), indent=2, sort_keys=True))
-    return 0
+    return EXIT_OK
 
 
 def _require_cache_target(args: argparse.Namespace) -> None:
@@ -630,7 +636,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     else:
         stats = ResultCache(args.cache_dir).stats().to_dict()
     print(json.dumps(stats, indent=2, sort_keys=True))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_cache_prune(args: argparse.Namespace) -> int:
@@ -642,7 +648,68 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
             raise BadSpecError("cache prune --cache-dir needs --max-bytes N")
         result = ResultCache(args.cache_dir).prune(args.max_bytes).to_dict()
     print(json.dumps(result, indent=2, sort_keys=True))
-    return 0
+    return EXIT_OK
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: lint depends on the simulator, never the reverse, and
+    # no other subcommand should pay for the analysis machinery.
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        LINT_REGISTRY,
+        Baseline,
+        LintEngine,
+        RepoIndex,
+        find_repo_root,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print("Registered lint rules (run with 'python -m repro lint --rules'):")
+        for entry in LINT_REGISTRY.entries():
+            print(f"  {entry.name:<16} {entry.description}")
+        return EXIT_OK
+
+    root = find_repo_root()
+    index = RepoIndex.load(root)
+    rules = [name.strip() for name in args.rules.split(",")] if args.rules else None
+    run = LintEngine(index, rules=rules).run(paths=args.paths or None)
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else root / "tests" / "goldens" / "lint_baseline.json"
+    )
+    if args.write_baseline:
+        count = write_baseline(run.findings, baseline_path)
+        print(f"lint baseline written to {baseline_path} ({count} entries)")
+        return EXIT_OK
+    if args.no_baseline or not os.path.isfile(baseline_path):
+        baseline = Baseline.empty()
+    else:
+        baseline = Baseline.load(baseline_path)
+    new, suppressed = baseline.partition(run.findings)
+
+    if args.format == "json":
+        payload = {
+            "rules": run.rules,
+            "findings": [f.to_dict() for f in new],
+            "suppressed": len(suppressed),
+            "stale_baseline_keys": baseline.unused_keys(run.findings),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(finding.format_text())
+        summary = f"{len(new)} finding(s)"
+        if suppressed:
+            summary += f", {len(suppressed)} baselined"
+        stale = baseline.unused_keys(run.findings)
+        if stale:
+            summary += f", {len(stale)} stale baseline entr(y/ies)"
+        print(summary, file=sys.stderr)
+    return EXIT_LINT_FINDINGS if new else EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1027,6 +1094,42 @@ def build_parser() -> argparse.ArgumentParser:
              "(required with --cache-dir; --url defaults to the daemon's bound)",
     )
     cache_prune.set_defaults(func=_cmd_cache_prune)
+
+    sub_lint = sub.add_parser(
+        "lint",
+        help="run the repo-invariant static-analysis pass over src/repro",
+    )
+    sub_lint.add_argument(
+        "paths", nargs="*",
+        help="restrict reported findings to these files/directories "
+             "(analysis always covers the whole tree)",
+    )
+    sub_lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule names to run (default: all registered)",
+    )
+    sub_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (default: text)",
+    )
+    sub_lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file of grandfathered findings "
+             "(default: tests/goldens/lint_baseline.json when present)",
+    )
+    sub_lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline and report every finding",
+    )
+    sub_lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    sub_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered lint rules and exit",
+    )
+    sub_lint.set_defaults(func=_cmd_lint)
     return parser
 
 
@@ -1056,7 +1159,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BrokenPipeError:
         # stdout was closed early (e.g. piped into head); exit quietly.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        return 0
+        return EXIT_OK
     except KeyboardInterrupt:
         # SIGINT or SIGTERM: the engine has already cancelled/terminated its
         # pool on the way out; report cleanly instead of a traceback.

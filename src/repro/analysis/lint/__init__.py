@@ -1,0 +1,48 @@
+"""``repro.analysis.lint``: repo-invariant static analysis.
+
+An AST-based linter encoding this repo's non-negotiables as machine-checked
+rules: simulation code must be bit-deterministic, cache-key-visible dataclass
+changes must bump ``CACHE_SCHEMA_VERSION``, hot-path classes must stay lean,
+and the exit-code / privacy / probe-dispatch contracts must hold.  Run it with
+``python -m repro lint``; see the README's "Static analysis" section.
+
+Importing this package pulls in the built-in rules (registering them in
+:data:`LINT_REGISTRY`).  Nothing in :mod:`repro.simulation` or
+:mod:`repro.uarch` imports this package — lint depends on the simulator,
+never the reverse.
+"""
+
+from repro.analysis.lint.engine import (
+    LINT_REGISTRY,
+    LintEngine,
+    LintRule,
+    LintRun,
+    ModuleInfo,
+    RepoIndex,
+    find_repo_root,
+    qualname_map,
+    register_lint_rule,
+)
+from repro.analysis.lint.findings import (
+    Baseline,
+    Finding,
+    sort_findings,
+    write_baseline,
+)
+from repro.analysis.lint import rules  # noqa: F401  (registers built-in rules)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LINT_REGISTRY",
+    "LintEngine",
+    "LintRule",
+    "LintRun",
+    "ModuleInfo",
+    "RepoIndex",
+    "find_repo_root",
+    "qualname_map",
+    "register_lint_rule",
+    "sort_findings",
+    "write_baseline",
+]

@@ -1,0 +1,263 @@
+"""The ``repro lint`` engine: repo index, rule protocol and runner.
+
+The engine parses every module under ``src/repro`` once into a
+:class:`RepoIndex` and hands that index to each registered rule.  Rules come
+in two granularities:
+
+* **per-module** rules override :meth:`LintRule.check_module` and are called
+  once per indexed module (most rules — determinism, hot-path, hygiene);
+* **repo-level** rules override :meth:`LintRule.check_repo` and see the whole
+  index at once (cross-file invariants: the cache-schema drift gate, the
+  probe-dispatch audit).
+
+Rules are registered in :data:`LINT_REGISTRY` — a plain
+:class:`repro.registry.Registry`, so ``repro lint --rules`` name resolution,
+listing and duplicate detection behave exactly like workloads and variants —
+and new rules can be added by any module that imports
+:func:`register_lint_rule` (see the README's "Static analysis" section).
+
+This package is deliberately *not* imported by :mod:`repro.simulation` or
+:mod:`repro.uarch`: lint depends on the simulator (the schema gate inspects
+the live dataclasses), never the reverse, so attaching the linter costs the
+hot paths nothing at import time.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import BadSpecError
+from repro.registry import Registry
+from repro.analysis.lint.findings import Finding, sort_findings
+
+#: Registered lint rules; factories take no arguments and return a
+#: :class:`LintRule` instance.
+LINT_REGISTRY = Registry("lint rule", plural="lint rules")
+
+
+def register_lint_rule(name: str, *, description: str = "", **metadata):
+    """Decorator registering a :class:`LintRule` factory under ``name``."""
+    return LINT_REGISTRY.register(name, description=description, **metadata)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module of the linted tree."""
+
+    #: Absolute path on disk (informational; findings use :attr:`relpath`).
+    path: Path
+    #: Repo-relative POSIX path, e.g. ``src/repro/uarch/core.py``.
+    relpath: str
+    #: Dotted module name, e.g. ``repro.uarch.core``.
+    module: str
+    tree: ast.Module
+    source: str
+
+    @property
+    def package(self) -> str:
+        """The subpackage this module lints as (``repro.uarch`` for
+        ``repro.uarch.core``; top-level modules lint as ``repro``)."""
+        parts = self.module.split(".")
+        return ".".join(parts[:2]) if len(parts) > 2 else parts[0]
+
+    @classmethod
+    def from_source(
+        cls, source: str, *, module: str, relpath: Optional[str] = None
+    ) -> "ModuleInfo":
+        """Build an in-memory module (inline rule fixtures in tests)."""
+        rel = relpath or ("src/" + module.replace(".", "/") + ".py")
+        return cls(
+            path=Path(rel),
+            relpath=rel,
+            module=module,
+            tree=ast.parse(source),
+            source=source,
+        )
+
+
+class RepoIndex:
+    """Every parsed module of the linted tree plus derived lookup tables."""
+
+    def __init__(self, root: Path, modules: Sequence[ModuleInfo]) -> None:
+        self.root = root
+        self.modules: List[ModuleInfo] = list(modules)
+        self.by_module: Dict[str, ModuleInfo] = {m.module: m for m in self.modules}
+        self._private_names: Dict[str, frozenset] = {}
+
+    @classmethod
+    def load(cls, root: Path, package_dir: Optional[Path] = None) -> "RepoIndex":
+        """Parse every ``*.py`` under ``package_dir`` (default ``src/repro``)."""
+        root = root.resolve()
+        package_dir = (package_dir or root / "src" / "repro").resolve()
+        if not package_dir.is_dir():
+            raise BadSpecError(f"lint: no package directory at {package_dir}")
+        modules: List[ModuleInfo] = []
+        for path in sorted(package_dir.rglob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                raise BadSpecError(f"lint: cannot parse {path}: {exc}") from exc
+            relative = path.relative_to(package_dir)
+            parts = ("repro",) + relative.with_suffix("").parts
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            modules.append(
+                ModuleInfo(
+                    path=path,
+                    relpath=path.relative_to(root).as_posix(),
+                    module=".".join(parts),
+                    tree=tree,
+                    source=source,
+                )
+            )
+        return cls(root=root, modules=modules)
+
+    def private_names(self, package: str) -> frozenset:
+        """Every single-underscore name *defined* anywhere in ``package``.
+
+        The privacy rule treats access to ``obj._name`` as in-family — and
+        therefore allowed — when some module of the accessor's own package
+        defines ``_name`` (method, function, attribute or module global);
+        anything else is a cross-package reach-through.
+        """
+        if package not in self._private_names:
+            names = set()
+            for info in self.modules:
+                if info.package != package:
+                    continue
+                for node in ast.walk(info.tree):
+                    if isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        names.add(node.name)
+                    elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                        targets = (
+                            node.targets
+                            if isinstance(node, ast.Assign)
+                            else [node.target]
+                        )
+                        for target in targets:
+                            for leaf in ast.walk(target):
+                                if isinstance(leaf, ast.Name):
+                                    names.add(leaf.id)
+                                elif isinstance(leaf, ast.Attribute):
+                                    names.add(leaf.attr)
+            self._private_names[package] = frozenset(
+                name
+                for name in names
+                if name.startswith("_") and not name.endswith("__")
+            )
+        return self._private_names[package]
+
+
+class LintRule:
+    """Base class for lint rules; override one (or both) ``check_*`` hooks."""
+
+    #: Registry name (set by subclasses; mirrors the registration name).
+    name = "rule"
+
+    def check_module(self, module: ModuleInfo, index: RepoIndex) -> Iterator[Finding]:
+        """Yield findings for one module (called once per indexed module)."""
+        return iter(())
+
+    def check_repo(self, index: RepoIndex) -> Iterator[Finding]:
+        """Yield repo-level findings (called once per run)."""
+        return iter(())
+
+
+def qualname_map(module: ModuleInfo) -> Dict[int, str]:
+    """Map ``id(node)`` -> enclosing qualname for every node of ``module``.
+
+    One pass instead of one :func:`qualname_at` walk per finding; rules that
+    expect many hits use this.
+    """
+    mapping: Dict[int, str] = {}
+    chain: List[str] = []
+
+    def visit(node: ast.AST) -> None:
+        scoped = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+        if scoped:
+            chain.append(node.name)
+        mapping[id(node)] = ".".join(chain) if chain else module.module
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+        if scoped:
+            chain.pop()
+
+    visit(module.tree)
+    return mapping
+
+
+@dataclass
+class LintRun:
+    """The outcome of one engine run, pre-baseline."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Rule names that actually executed (presentation/debugging aid).
+    rules: List[str] = field(default_factory=list)
+
+
+class LintEngine:
+    """Run a set of registered rules over a :class:`RepoIndex`."""
+
+    def __init__(self, index: RepoIndex, rules: Optional[Sequence[str]] = None) -> None:
+        self.index = index
+        names = list(rules) if rules else LINT_REGISTRY.names()
+        try:
+            #: name -> constructed rule instance, in registry order.
+            self.rules = {name: LINT_REGISTRY.create(name) for name in names}
+        except KeyError as exc:
+            # Unknown --rules selection is a bad invocation, not a finding.
+            raise BadSpecError(str(exc.args[0])) from None
+
+    def run(self, paths: Optional[Sequence[Path]] = None) -> LintRun:
+        """Execute every selected rule; optionally restrict findings to ``paths``.
+
+        ``paths`` filters *reporting*, not analysis: cross-file rules always
+        see the whole index, and a finding survives the filter when its file
+        lies under any of the given paths.
+        """
+        run = LintRun(rules=list(self.rules))
+        for rule in self.rules.values():
+            for module in self.index.modules:
+                run.findings.extend(rule.check_module(module, self.index))
+            run.findings.extend(rule.check_repo(self.index))
+        if paths:
+            resolved = [Path(p).resolve() for p in paths]
+            run.findings = [
+                f for f in run.findings if _under_any(self.index.root / f.path, resolved)
+            ]
+        run.findings = sort_findings(run.findings)
+        return run
+
+
+def _under_any(path: Path, roots: Iterable[Path]) -> bool:
+    path = path.resolve()
+    for root in roots:
+        if path == root or root in path.parents:
+            return True
+    return False
+
+
+def find_repo_root() -> Path:
+    """The repository root, derived from the installed ``repro`` package.
+
+    The in-tree layout is ``<root>/src/repro/__init__.py``; lint is a repo
+    tool, so running it from a ``site-packages`` install (no ``src`` parent,
+    no goldens) is reported as a bad invocation rather than half-working.
+    """
+    import repro
+
+    package_dir = Path(repro.__file__).resolve().parent
+    if package_dir.parent.name != "src":
+        raise BadSpecError(
+            f"lint: repro is imported from {package_dir}, which is not the "
+            "in-tree src/repro layout the linter analyses"
+        )
+    return package_dir.parent.parent

@@ -1,0 +1,124 @@
+"""Findings and the committed-baseline mechanism for ``repro lint``.
+
+A :class:`Finding` is one rule violation at a ``file:line``.  Findings carry a
+*stable key* — ``code:path:symbol:detail`` — that deliberately excludes line
+and column numbers, so a baseline recorded against one revision keeps
+suppressing the same grandfathered finding after unrelated edits move it
+around the file.
+
+The :class:`Baseline` is the goldens-style grandfathering mechanism: a
+committed JSON file listing the keys of known findings.  ``repro lint`` fails
+only on findings whose key is *not* in the baseline; refreshing it is an
+explicit act (``repro lint --write-baseline``) that shows up in review as a
+diff of ``tests/goldens/lint_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.serde import JSONSerializable
+
+
+@dataclass(frozen=True)
+class Finding(JSONSerializable):
+    """One rule violation, pointing at a specific ``file:line``."""
+
+    #: Registry name of the rule that produced this finding.
+    rule: str
+    #: Short stable code, e.g. ``D101`` — the first letter groups the family.
+    code: str
+    #: Repo-relative POSIX path of the offending file.
+    path: str
+    line: int
+    col: int
+    #: Dotted context (class/function qualname) the finding sits in, or the
+    #: module itself when at top level.
+    symbol: str
+    message: str
+    #: Stable discriminator distinguishing multiple findings of the same code
+    #: in the same symbol (e.g. the offending attribute name).  Part of the
+    #: baseline key, so it must not contain positions.
+    detail: str = ""
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used for baseline matching."""
+        return f"{self.code}:{self.path}:{self.symbol}:{self.detail}"
+
+    def format_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.message} [{self.rule}]"
+        )
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Deterministic presentation order: path, then position, then code."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code, f.detail))
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding keys loaded from a committed file."""
+
+    path: str = ""
+    #: key -> recorded message (the message is informational; only the key
+    #: participates in matching).
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict) or "findings" not in data:
+            raise ValueError(f"{path}: not a lint baseline file")
+        entries: Dict[str, str] = {}
+        for entry in data["findings"]:
+            entries[entry["key"]] = entry.get("message", "")
+        return cls(path=str(path), entries=entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, grandfathered-by-this-baseline)."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if finding.key in self.entries else new).append(finding)
+        return new, suppressed
+
+    def unused_keys(self, findings: Sequence[Finding]) -> List[str]:
+        """Baseline entries no current finding matches (stale, prunable)."""
+        present = {finding.key for finding in findings}
+        return sorted(key for key in self.entries if key not in present)
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> int:
+    """Write ``findings`` as a baseline file; returns the entry count.
+
+    Entries are keyed and sorted, one per unique key (the same grandfathered
+    pattern hit twice in one function collapses to one entry).
+    """
+    entries: Dict[str, str] = {}
+    for finding in sort_findings(findings):
+        entries.setdefault(finding.key, finding.message)
+    payload = {
+        "version": 1,
+        "findings": [
+            {"key": key, "message": message}
+            for key, message in sorted(entries.items())
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

@@ -1,0 +1,15 @@
+"""Built-in lint rules.
+
+Importing this package registers every built-in rule in
+:data:`repro.analysis.lint.engine.LINT_REGISTRY`; registration order here is
+the default execution/listing order.
+"""
+
+from repro.analysis.lint.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    schema_drift,
+    hotpath,
+    exit_codes,
+    privacy,
+    probe_dispatch,
+)

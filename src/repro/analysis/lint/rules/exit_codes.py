@@ -1,0 +1,105 @@
+"""Exit-code taxonomy hygiene: process exits must speak ``repro.errors``.
+
+The whole point of :mod:`repro.errors` is that CI scripts and the service can
+dispatch on exit codes.  A stray ``sys.exit(1)`` deep in a subcommand silently
+re-overloads the bench-regression code; a ``SystemExit("message")`` exits with
+code 1 while *looking* like an error string.  Two codes:
+
+* ``T401`` — ``sys.exit(<nonzero int literal>)`` / ``raise SystemExit(<nonzero
+  int literal>)`` anywhere outside :mod:`repro.errors` itself.  Exiting with a
+  named constant (``sys.exit(EXIT_BAD_SPEC)``) or a computed status
+  (``sys.exit(main())``) is fine — the rule only flags raw literals.
+  ``sys.exit(0)`` is allowed but better spelled ``EXIT_OK``.
+* ``T402`` — ``sys.exit("message")`` / ``SystemExit("message")``: exits with
+  status 1 via stderr side effect, bypassing the taxonomy entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.engine import (
+    LintRule,
+    ModuleInfo,
+    RepoIndex,
+    qualname_map,
+    register_lint_rule,
+)
+from repro.analysis.lint.findings import Finding
+
+
+def _exit_call(node: ast.AST) -> Optional[ast.Call]:
+    """Return the Call node when ``node`` is sys.exit(...) / SystemExit(...)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "SystemExit":
+        return node
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "exit"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "sys"
+    ):
+        return node
+    return None
+
+
+@register_lint_rule(
+    "exit-codes",
+    description="process exits must use repro.errors constants, not raw "
+    "literals or message strings (T4xx)",
+)
+class ExitCodeRule(LintRule):
+    name = "exit-codes"
+
+    def check_module(self, module: ModuleInfo, index: RepoIndex) -> Iterator[Finding]:
+        if module.module == "repro.errors":
+            return
+        symbols = qualname_map(module)
+        for node in ast.walk(module.tree):
+            call = _exit_call(node)
+            if call is None or not call.args:
+                continue
+            arg = call.args[0]
+            if not isinstance(arg, ast.Constant):
+                continue
+            value = arg.value
+            if isinstance(value, bool):
+                # True/False are ints but never a sane exit status.
+                code, message, detail = (
+                    "T401",
+                    f"exit status {value!r} is a bool; use a repro.errors "
+                    "constant",
+                    f"literal-{value}",
+                )
+            elif isinstance(value, int):
+                if value == 0:
+                    continue  # exit(0) is unambiguous
+                code, message, detail = (
+                    "T401",
+                    f"raw exit status {value}; name it via a repro.errors "
+                    "constant so callers can dispatch on it",
+                    f"literal-{value}",
+                )
+            elif isinstance(value, str):
+                code, message, detail = (
+                    "T402",
+                    "SystemExit with a message string exits 1 outside the "
+                    "taxonomy; print the message and exit a repro.errors "
+                    "constant",
+                    "literal-str",
+                )
+            else:
+                continue
+            yield Finding(
+                rule=self.name,
+                code=code,
+                path=module.relpath,
+                line=call.lineno,
+                col=call.col_offset,
+                symbol=symbols.get(id(call), module.module),
+                message=message,
+                detail=detail,
+            )

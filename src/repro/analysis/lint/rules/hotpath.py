@@ -1,0 +1,183 @@
+"""Hot-path lint: per-cycle code must stay allocation- and indirection-lean.
+
+PR 4's profile showed two recurring costs in the per-cycle loop: attribute
+dictionaries on objects allocated millions of times, and re-deriving values
+off the frozen config tree (``config.num_sets`` walks a property every call)
+when the owning object already captured them in ``__init__``.  Two codes keep
+those wins from regressing:
+
+* ``H301`` — a class defined in ``repro.uarch`` or ``repro.memory`` declares
+  no ``__slots__``.  Exemptions: dataclasses (the config tree is frozen
+  dataclasses, where ``__dict__`` is the serde surface), enums, exceptions,
+  and classes that subclass something outside the two packages (slots on a
+  subclass of an unslotted base buy nothing).
+* ``H302`` — code outside ``__init__``/``__post_init__`` reads a *derived
+  property* of a config object through ``self.<cfg>.<prop>`` (e.g.
+  ``self.config.num_sets`` inside ``fill()``).  Derived properties are
+  discovered from the live config classes, so adding one to
+  ``CacheConfig``/``DRAMConfig`` extends the rule automatically.  The fix is
+  to capture the value once in ``__init__`` (``self._num_sets``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.lint.engine import (
+    LintRule,
+    ModuleInfo,
+    RepoIndex,
+    register_lint_rule,
+)
+from repro.analysis.lint.findings import Finding
+
+#: Packages whose classes run inside the per-cycle simulation loop.
+HOT_PACKAGES = frozenset({"repro.uarch", "repro.memory"})
+
+#: Attribute names under which hot-path objects hold their config.
+_CONFIG_ATTRS = frozenset({"config", "cfg"})
+
+#: Base-class name fragments that exempt a class from H301.
+_EXEMPT_BASE_SUFFIXES = ("Error", "Exception", "Warning", "Enum", "Protocol")
+
+
+def derived_config_properties() -> Set[str]:
+    """Names of ``@property`` members on the frozen config dataclasses.
+
+    Resolved from the live classes so the rule tracks the code: a new
+    ``CacheConfig.ways_log2`` property would be covered without touching the
+    linter.
+    """
+    from repro.memory.cache import CacheConfig
+    from repro.memory.dram import DRAMConfig
+    from repro.memory.hierarchy import HierarchyConfig
+    from repro.uarch.config import CoreConfig
+
+    names: Set[str] = set()
+    for cls in (CacheConfig, DRAMConfig, HierarchyConfig, CoreConfig):
+        for attr, value in vars(cls).items():
+            if isinstance(value, property):
+                names.add(attr)
+    return names
+
+
+def _has_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return True
+    return False
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        node = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(node, ast.Name) and node.id == "dataclass":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "dataclass":
+            return True
+    return False
+
+
+def _base_names(cls: ast.ClassDef) -> Iterator[str]:
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            yield base.id
+        elif isinstance(base, ast.Attribute):
+            yield base.attr
+
+
+def _slots_exempt(cls: ast.ClassDef, module: ModuleInfo, index: RepoIndex) -> bool:
+    if _is_dataclass(cls):
+        return True
+    for base in _base_names(cls):
+        if base.endswith(_EXEMPT_BASE_SUFFIXES):
+            return True
+        # Subclassing a base we cannot see (stdlib, another package) means we
+        # cannot know whether the base is slotted; slots on the subclass alone
+        # would not remove __dict__, so don't demand them.
+        if not _base_defined_in_hot_packages(base, index):
+            return True
+    return False
+
+
+def _base_defined_in_hot_packages(base: str, index: RepoIndex) -> bool:
+    for info in index.modules:
+        if info.package not in HOT_PACKAGES:
+            continue
+        for node in ast.iter_child_nodes(info.tree):
+            if isinstance(node, ast.ClassDef) and node.name == base:
+                return True
+    return False
+
+
+@register_lint_rule(
+    "hot-path",
+    description="require __slots__ and pre-captured config geometry in "
+    "repro.uarch / repro.memory (H3xx)",
+)
+class HotPathRule(LintRule):
+    name = "hot-path"
+
+    def __init__(self) -> None:
+        self._derived_props = derived_config_properties()
+
+    def check_module(self, module: ModuleInfo, index: RepoIndex) -> Iterator[Finding]:
+        if module.package not in HOT_PACKAGES:
+            return
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not _has_slots(cls) and not _slots_exempt(cls, module, index):
+                yield Finding(
+                    rule=self.name,
+                    code="H301",
+                    path=module.relpath,
+                    line=cls.lineno,
+                    col=cls.col_offset,
+                    symbol=cls.name,
+                    message=f"class {cls.name} in a hot-path package has no "
+                    "__slots__; per-cycle objects must not carry __dict__",
+                    detail="no-slots",
+                )
+            yield from self._check_derived_reads(cls, module)
+
+    def _check_derived_reads(
+        self, cls: ast.ClassDef, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in ("__init__", "__post_init__"):
+                continue
+            for node in ast.walk(method):
+                # Match self.<config-attr>.<derived-property>
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in self._derived_props
+                    and isinstance(node.value, ast.Attribute)
+                    and node.value.attr in _CONFIG_ATTRS
+                    and isinstance(node.value.value, ast.Name)
+                    and node.value.value.id == "self"
+                ):
+                    continue
+                cfg = node.value.attr
+                yield Finding(
+                    rule=self.name,
+                    code="H302",
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=f"{cls.name}.{method.name}",
+                    message=(
+                        f"self.{cfg}.{node.attr} re-derives frozen-config "
+                        f"geometry inside {method.name}(); capture it once in "
+                        "__init__"
+                    ),
+                    detail=f"{cfg}.{node.attr}",
+                )

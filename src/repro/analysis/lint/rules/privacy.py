@@ -1,0 +1,96 @@
+"""API hygiene: no cross-package private-attribute reach-through.
+
+Within a subpackage, touching a sibling's underscore attributes is a
+deliberate idiom here (``repro.uarch.core`` walks ``iq._entries`` for speed;
+the pair ship and change together).  *Across* packages it is how refactors
+break silently: ``repro.core.runahead`` grabbing an OoO-core internal means a
+rename inside ``repro.uarch`` compiles clean and explodes at runtime.
+
+The ownership heuristic is name-based, matching how the codebase is actually
+layered: an access ``obj._name`` is in-family when ``_name`` is *defined*
+somewhere in the accessor's own package (:meth:`RepoIndex.private_names`);
+otherwise some other package owns that name and the access is flagged.
+
+* ``A501`` — reading/writing ``obj._name`` (base not ``self``/``cls``) where
+  ``_name`` is not defined in the accessor's package.
+* ``A502`` — ``from repro.<other>.<mod> import _name``: importing another
+  package's private symbol by name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.engine import (
+    LintRule,
+    ModuleInfo,
+    RepoIndex,
+    qualname_map,
+    register_lint_rule,
+)
+from repro.analysis.lint.findings import Finding
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not name.endswith("__")
+
+
+@register_lint_rule(
+    "privacy",
+    description="forbid cross-package private-attribute access and private "
+    "imports (A5xx)",
+)
+class PrivacyRule(LintRule):
+    name = "privacy"
+
+    def check_module(self, module: ModuleInfo, index: RepoIndex) -> Iterator[Finding]:
+        symbols = qualname_map(module)
+        own = index.private_names(module.package)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                if not _is_private(node.attr):
+                    continue
+                base = node.value
+                if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                    continue
+                if node.attr in own:
+                    continue
+                yield Finding(
+                    rule=self.name,
+                    code="A501",
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=symbols.get(id(node), module.module),
+                    message=(
+                        f"private attribute {node.attr!r} is not defined in "
+                        f"{module.package}; reaching into another package's "
+                        "internals — add a public accessor there instead"
+                    ),
+                    detail=node.attr,
+                )
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if not source.startswith("repro."):
+                    continue
+                parts = source.split(".")
+                source_package = ".".join(parts[:2])
+                if source_package == module.package:
+                    continue
+                for alias in node.names:
+                    if _is_private(alias.name):
+                        yield Finding(
+                            rule=self.name,
+                            code="A502",
+                            path=module.relpath,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            symbol=symbols.get(id(node), module.module),
+                            message=(
+                                f"importing private name {alias.name!r} from "
+                                f"{source}; export a public name or move the "
+                                "shared piece"
+                            ),
+                            detail=f"{source}.{alias.name}",
+                        )

@@ -1,0 +1,122 @@
+"""Probe-hook audit: every declared hook must actually be dispatched.
+
+The probe system is pay-as-you-go: :class:`repro.uarch.probes.Probe` declares
+``on_*`` hook methods, ``_HOOKS`` names the dispatchable subset, and the core
+calls ``probes.on_X(...)`` only at the matching pipeline events.  Two drift
+modes have bitten similar designs:
+
+* a hook is added to ``Probe`` but never wired into ``_HOOKS`` — subclass
+  overrides are silently ignored by the fast-path dispatch tables;
+* a hook is in ``_HOOKS`` but no simulator site ever calls it — dead API that
+  probes implement for nothing.
+
+Both are invisible to tests that only exercise existing hooks, so the linter
+closes the loop structurally:
+
+* ``P601`` — an ``on_*`` method on ``Probe`` missing from ``_HOOKS``
+  (lifecycle methods ``on_attach``/``on_finish`` are dispatched explicitly by
+  the engine, not via the table, and are exempt).
+* ``P602`` — a ``_HOOKS`` entry with no ``<expr>.on_X(...)`` call site
+  anywhere in ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.lint.engine import LintRule, RepoIndex, register_lint_rule
+from repro.analysis.lint.findings import Finding
+
+PROBE_MODULE = "repro.uarch.probes"
+
+#: Lifecycle hooks dispatched directly by the engine, outside ``_HOOKS``.
+LIFECYCLE_HOOKS = frozenset({"on_attach", "on_finish"})
+
+
+def _find_probe_decl(
+    index: RepoIndex,
+) -> Tuple[Optional[ast.ClassDef], List[Tuple[str, int]], str]:
+    """Locate the Probe class and the ``_HOOKS`` tuple (name, lineno) pairs."""
+    info = index.by_module.get(PROBE_MODULE)
+    if info is None:
+        return None, [], ""
+    probe_cls = None
+    hooks: List[Tuple[str, int]] = []
+    for node in ast.iter_child_nodes(info.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "Probe":
+            probe_cls = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "_HOOKS":
+                    for element in getattr(node.value, "elts", []):
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            hooks.append((element.value, element.lineno))
+    return probe_cls, hooks, info.relpath
+
+
+@register_lint_rule(
+    "probe-dispatch",
+    description="every Probe on_* hook must be in _HOOKS and have a dispatch "
+    "site (P6xx)",
+)
+class ProbeDispatchRule(LintRule):
+    name = "probe-dispatch"
+
+    def check_repo(self, index: RepoIndex) -> Iterator[Finding]:
+        probe_cls, hooks, probes_relpath = _find_probe_decl(index)
+        if probe_cls is None:
+            return  # nothing to audit (synthetic indexes in tests)
+        hook_names = {name for name, _ in hooks}
+
+        # P601: declared on Probe, absent from _HOOKS --------------------
+        for stmt in probe_cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not stmt.name.startswith("on_") or stmt.name in LIFECYCLE_HOOKS:
+                continue
+            if stmt.name not in hook_names:
+                yield Finding(
+                    rule=self.name,
+                    code="P601",
+                    path=probes_relpath,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    symbol=f"Probe.{stmt.name}",
+                    message=(
+                        f"Probe.{stmt.name} is not listed in _HOOKS; subclass "
+                        "overrides will never be dispatched"
+                    ),
+                    detail=stmt.name,
+                )
+
+        # P602: in _HOOKS but never dispatched ---------------------------
+        dispatched = set()
+        for info in index.modules:
+            for node in ast.walk(info.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in hook_names
+                    # The hook *definition* site (def on_X) is not a call, but
+                    # ProbeSet forwards via getattr-built dispatchers too; any
+                    # attribute call with the hook's name counts as a site.
+                ):
+                    dispatched.add(node.func.attr)
+        for name, lineno in hooks:
+            if name not in dispatched:
+                yield Finding(
+                    rule=self.name,
+                    code="P602",
+                    path=probes_relpath,
+                    line=lineno,
+                    col=0,
+                    symbol=f"_HOOKS.{name}",
+                    message=(
+                        f"hook {name!r} is declared in _HOOKS but no "
+                        "simulator site dispatches it; dead probe API"
+                    ),
+                    detail=name,
+                )

@@ -122,7 +122,7 @@ class TraditionalRunaheadController(RunaheadController):
             entry = queue[0]
             if entry.ready_cycle > core_cycle:
                 break
-            if not core._can_dispatch(entry.uop):
+            if not core.can_dispatch(entry.uop):
                 break
             queue.popleft()
             core.rename_and_dispatch(entry, runahead=True, enter_rob=True)

@@ -145,8 +145,8 @@ class SetAssociativeCache:
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.writebacks += 1
-                victim_line = victim_tag * self.config.num_sets + index
-                writeback_addr = victim_line * self.config.line_bytes
+                victim_line = victim_tag * self._num_sets + index
+                writeback_addr = victim_line * self._line_bytes
         ways[tag] = dirty
         return writeback_addr
 

@@ -646,14 +646,19 @@ class OoOCore:
             entry = queue[0]
             if entry.ready_cycle > cycle:
                 break
-            if not self._can_dispatch(entry.uop):
+            if not self.can_dispatch(entry.uop):
                 break
             queue.popleft()
             self.rename_and_dispatch(entry, runahead=False)
             dispatched += 1
         return dispatched
 
-    def _can_dispatch(self, uop: MicroOp) -> bool:
+    def can_dispatch(self, uop: MicroOp) -> bool:
+        """Whether every back-end resource ``uop`` needs is available.
+
+        Part of the controller-facing surface: runahead controllers gate their
+        speculative dispatch on the same check as normal dispatch.
+        """
         rob = self.rob
         if len(rob._entries) >= rob.capacity:
             return False

@@ -1,0 +1,496 @@
+"""Unit tests for the ``repro lint`` rules, engine and baseline mechanism."""
+
+import json
+import keyword
+import random
+import string
+from dataclasses import make_dataclass
+from pathlib import Path
+from typing import List, Optional
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.lint import (
+    Baseline,
+    LintEngine,
+    ModuleInfo,
+    RepoIndex,
+    write_baseline,
+)
+from repro.analysis.lint.rules.determinism import DeterminismRule
+from repro.analysis.lint.rules.exit_codes import ExitCodeRule
+from repro.analysis.lint.rules.hotpath import HotPathRule
+from repro.analysis.lint.rules.privacy import PrivacyRule
+from repro.analysis.lint.rules.probe_dispatch import ProbeDispatchRule
+from repro.analysis.lint.rules.schema_drift import CacheSchemaRule
+from repro.analysis.lint.schema import (
+    GOLDEN_RELPATH,
+    current_record,
+    fingerprint,
+    structure_of,
+)
+from repro.errors import BadSpecError
+
+
+def _index(*modules: ModuleInfo, root: Path = Path("/nonexistent")) -> RepoIndex:
+    return RepoIndex(root=root, modules=list(modules))
+
+
+def _module(source: str, module: str) -> ModuleInfo:
+    return ModuleInfo.from_source(source, module=module)
+
+
+def _codes(findings) -> List[str]:
+    return sorted(f.code for f in findings)
+
+
+def run_module_rule(rule, source: str, module: str, extra=()):
+    info = _module(source, module)
+    index = _index(info, *extra)
+    return list(rule.check_module(info, index))
+
+
+# --------------------------------------------------------------- determinism
+
+
+class TestDeterminismRule:
+    def test_flags_the_nondeterminism_menagerie(self):
+        source = """\
+import os, random, time
+
+def bad():
+    random.seed(0)
+    random.shuffle([1, 2])
+    r = random.Random()
+    t = time.time()
+    m = time.monotonic_ns()
+    e = os.urandom(8)
+    xs = sorted([1, 2], key=id)
+    ys = list({3, 1, 2})
+    for x in {1, 2}:
+        pass
+    return r, t, m, e, xs, ys
+"""
+        findings = run_module_rule(DeterminismRule(), source, "repro.uarch.scratch")
+        assert _codes(findings) == [
+            "D101",  # random.seed
+            "D101",  # random.shuffle
+            "D101",  # unseeded random.Random()
+            "D103",  # time.time
+            "D103",  # time.monotonic_ns
+            "D104",  # os.urandom
+            "D105",  # key=id
+            "D106",  # list(set literal)
+            "D106",  # for over set literal
+        ]
+        by_detail = {f.detail for f in findings}
+        assert "random.Random" in by_detail and "time.time" in by_detail
+
+    def test_from_imports_flagged(self):
+        source = "from random import shuffle\nfrom time import monotonic\n"
+        findings = run_module_rule(DeterminismRule(), source, "repro.core.scratch")
+        assert _codes(findings) == ["D102", "D103"]
+
+    def test_sanctioned_patterns_are_clean(self):
+        source = """\
+import random, time
+
+def good(seed):
+    rng = random.Random(seed)
+    dt = time.perf_counter()
+    order = sorted({1, 2, 3})
+    from random import Random
+    return rng, dt, order, Random
+"""
+        assert run_module_rule(DeterminismRule(), source, "repro.workloads.gen") == []
+
+    def test_only_deterministic_packages_are_checked(self):
+        source = "import time\nt = time.time()\n"
+        assert run_module_rule(DeterminismRule(), source, "repro.service.clock") == []
+        assert run_module_rule(DeterminismRule(), source, "repro.uarch.clock") != []
+
+
+# ------------------------------------------------------------------ hot path
+
+
+class TestHotPathRule:
+    def test_missing_slots_flagged_in_hot_packages_only(self):
+        source = "class Buffer:\n    def __init__(self):\n        self.x = 1\n"
+        assert _codes(run_module_rule(HotPathRule(), source, "repro.uarch.buf")) == [
+            "H301"
+        ]
+        assert run_module_rule(HotPathRule(), source, "repro.service.buf") == []
+
+    def test_slots_dataclass_enum_exception_and_foreign_base_exempt(self):
+        source = """\
+from dataclasses import dataclass
+from enum import Enum
+
+class Slotted:
+    __slots__ = ("x",)
+
+@dataclass(frozen=True)
+class Config:
+    x: int = 0
+
+class Mode(Enum):
+    A = 1
+
+class BufError(ValueError):
+    pass
+
+class FromElsewhere(SomeForeignBase):
+    pass
+"""
+        assert run_module_rule(HotPathRule(), source, "repro.memory.kinds") == []
+
+    def test_derived_config_read_outside_init_flagged(self):
+        source = """\
+class Cache:
+    __slots__ = ("config", "_num_sets")
+
+    def __init__(self, config):
+        self.config = config
+        self._num_sets = config.num_sets
+
+    def fill(self, addr):
+        return addr % self.config.num_sets
+"""
+        findings = run_module_rule(HotPathRule(), source, "repro.memory.scratch")
+        assert _codes(findings) == ["H302"]
+        assert findings[0].symbol == "Cache.fill"
+        assert findings[0].detail == "config.num_sets"
+
+    def test_plain_field_reads_are_not_flagged(self):
+        source = """\
+class Cache:
+    __slots__ = ("config",)
+
+    def __init__(self, config):
+        self.config = config
+
+    def fill(self, addr):
+        return addr % self.config.associativity
+"""
+        assert run_module_rule(HotPathRule(), source, "repro.memory.scratch") == []
+
+
+# ---------------------------------------------------------------- exit codes
+
+
+class TestExitCodeRule:
+    def test_raw_literals_flagged(self):
+        source = """\
+import sys
+
+def a():
+    sys.exit(1)
+
+def b():
+    raise SystemExit(3)
+
+def c():
+    raise SystemExit("boom")
+"""
+        findings = run_module_rule(ExitCodeRule(), source, "repro.tools.cli")
+        assert _codes(findings) == ["T401", "T401", "T402"]
+
+    def test_constants_and_computed_statuses_are_clean(self):
+        source = """\
+import sys
+from repro.errors import EXIT_BAD_SPEC
+
+def a():
+    sys.exit(EXIT_BAD_SPEC)
+
+def b():
+    sys.exit(0)
+
+def c():
+    raise SystemExit(main())
+"""
+        assert run_module_rule(ExitCodeRule(), source, "repro.tools.cli") == []
+
+    def test_errors_module_itself_is_exempt(self):
+        source = "import sys\nsys.exit(4)\n"
+        assert run_module_rule(ExitCodeRule(), source, "repro.errors") == []
+
+
+# ------------------------------------------------------------------- privacy
+
+
+class TestPrivacyRule:
+    def test_cross_package_attribute_reach_through_flagged(self):
+        owner = _module(
+            "class Core:\n    def __init__(self):\n        self._entries = []\n",
+            "repro.uarch.core",
+        )
+        accessor = _module(
+            "def peek(core):\n    return core._entries\n", "repro.core.ctrl"
+        )
+        findings = list(
+            PrivacyRule().check_module(accessor, _index(owner, accessor))
+        )
+        assert _codes(findings) == ["A501"]
+        assert findings[0].detail == "_entries"
+
+    def test_same_package_private_access_allowed(self):
+        owner = _module(
+            "class Core:\n    def __init__(self):\n        self._entries = []\n",
+            "repro.uarch.core",
+        )
+        sibling = _module(
+            "def peek(core):\n    return core._entries\n", "repro.uarch.debug"
+        )
+        assert list(PrivacyRule().check_module(sibling, _index(owner, sibling))) == []
+
+    def test_self_and_cls_access_always_allowed(self):
+        info = _module(
+            "class A:\n    def m(self):\n        return self._hidden\n",
+            "repro.core.a",
+        )
+        assert list(PrivacyRule().check_module(info, _index(info))) == []
+
+    def test_cross_package_private_import_flagged(self):
+        info = _module(
+            "from repro.uarch.core import _helper\n", "repro.core.ctrl"
+        )
+        findings = list(PrivacyRule().check_module(info, _index(info)))
+        assert _codes(findings) == ["A502"]
+
+    def test_same_package_private_import_allowed(self):
+        info = _module(
+            "from repro.uarch.core import _helper\n", "repro.uarch.debug"
+        )
+        assert list(PrivacyRule().check_module(info, _index(info))) == []
+
+
+# ------------------------------------------------------------ probe dispatch
+
+
+_PROBES_SRC = """\
+_HOOKS = ("on_cycle", "on_retire")
+
+class Probe:
+    def on_attach(self, core):
+        pass
+
+    def on_cycle(self, cycle):
+        pass
+
+    def on_retire(self, instr):
+        pass
+
+    def on_orphan(self, x):
+        pass
+"""
+
+
+class TestProbeDispatchRule:
+    def test_undeclared_and_undispatched_hooks_flagged(self):
+        probes = _module(_PROBES_SRC, "repro.uarch.probes")
+        core = _module(
+            "def tick(probes):\n    probes.on_cycle(0)\n", "repro.uarch.core"
+        )
+        findings = list(ProbeDispatchRule().check_repo(_index(probes, core)))
+        assert _codes(findings) == ["P601", "P602"]
+        p601 = next(f for f in findings if f.code == "P601")
+        assert p601.detail == "on_orphan"
+        p602 = next(f for f in findings if f.code == "P602")
+        assert p602.detail == "on_retire"
+
+    def test_fully_wired_hooks_are_clean(self):
+        probes = _module(_PROBES_SRC.replace("    def on_orphan(self, x):\n        pass\n", ""), "repro.uarch.probes")
+        core = _module(
+            "def tick(probes):\n"
+            "    probes.on_cycle(0)\n"
+            "    probes.on_retire(None)\n",
+            "repro.uarch.core",
+        )
+        assert list(ProbeDispatchRule().check_repo(_index(probes, core))) == []
+
+    def test_absent_probe_module_is_a_noop(self):
+        assert list(ProbeDispatchRule().check_repo(_index())) == []
+
+
+# -------------------------------------------------------------- cache schema
+
+
+class TestCacheSchemaRule:
+    def _run(self, tmp_path: Path, golden: Optional[dict]) -> List[str]:
+        if golden is not None:
+            path = tmp_path / GOLDEN_RELPATH
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(golden))
+        return _codes(CacheSchemaRule().check_repo(_index(root=tmp_path)))
+
+    def test_missing_golden_flagged(self, tmp_path):
+        assert self._run(tmp_path, None) == ["S203"]
+
+    def test_matching_golden_is_clean(self, tmp_path):
+        assert self._run(tmp_path, current_record()) == []
+
+    def test_drift_without_version_bump_flagged(self, tmp_path):
+        record = current_record()
+        tampered = dict(record, fingerprint="0" * 64)
+        classes = {k: dict(v) for k, v in record["classes"].items()}
+        some_class = sorted(classes)[0]
+        classes[some_class]["ghost_field"] = "int"
+        tampered["classes"] = classes
+        codes = self._run(tmp_path, tampered)
+        assert codes == ["S201"]
+
+    def test_version_bump_with_stale_golden_flagged(self, tmp_path):
+        record = current_record()
+        stale = dict(
+            record,
+            cache_schema_version=record["cache_schema_version"] - 1,
+            fingerprint="0" * 64,
+        )
+        assert self._run(tmp_path, stale) == ["S202"]
+
+    def test_defensive_version_bump_without_drift_is_clean(self, tmp_path):
+        record = current_record()
+        bumped = dict(
+            record, cache_schema_version=record["cache_schema_version"] - 1
+        )
+        assert self._run(tmp_path, bumped) == []
+
+
+# ------------------------------------------------- fingerprint property tests
+
+
+_FIELD_NAMES = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8).filter(
+        lambda name: not keyword.iskeyword(name)
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+_TYPES = st.sampled_from([int, float, str, bool, bytes])
+
+
+class TestFingerprintProperties:
+    @given(names=_FIELD_NAMES, seed=st.integers(0, 2**16), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_field_order_insensitive(self, names, seed, data):
+        types = [data.draw(_TYPES) for _ in names]
+        fields = list(zip(names, types))
+        shuffled = fields[:]
+        random.Random(seed).shuffle(shuffled)
+        a = make_dataclass("A", fields)
+        b = make_dataclass("A", shuffled)
+        assert structure_of(a) == structure_of(b)
+        assert fingerprint({"A": structure_of(a)}) == fingerprint(
+            {"A": structure_of(b)}
+        )
+
+    @given(names=_FIELD_NAMES, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_add_remove_rename_retype_all_change_the_fingerprint(self, names, data):
+        types = [data.draw(_TYPES) for _ in names]
+        base = make_dataclass("A", list(zip(names, types)))
+        reference = fingerprint({"A": structure_of(base)})
+
+        added = make_dataclass("A", list(zip(names, types)) + [("zz_extra", int)])
+        assert fingerprint({"A": structure_of(added)}) != reference
+
+        if len(names) > 1:
+            removed = make_dataclass("A", list(zip(names[:-1], types[:-1])))
+            assert fingerprint({"A": structure_of(removed)}) != reference
+
+        renamed_names = [names[0] + "_renamed"] + list(names[1:])
+        renamed = make_dataclass("A", list(zip(renamed_names, types)))
+        assert fingerprint({"A": structure_of(renamed)}) != reference
+
+        new_type = complex if types[0] is not complex else int
+        retyped = make_dataclass(
+            "A", [(names[0], new_type)] + list(zip(names[1:], types[1:]))
+        )
+        assert fingerprint({"A": structure_of(retyped)}) != reference
+
+
+# ---------------------------------------------------------- baseline machinery
+
+
+class TestBaseline:
+    def _finding(self, line=10):
+        from repro.analysis.lint.findings import Finding
+
+        return Finding(
+            rule="determinism",
+            code="D103",
+            path="src/repro/uarch/x.py",
+            line=line,
+            col=4,
+            symbol="X.tick",
+            message="time.time() reads the wall clock",
+            detail="time.time",
+        )
+
+    def test_key_is_stable_across_line_moves(self):
+        assert self._finding(line=10).key == self._finding(line=99).key
+
+    def test_roundtrip_and_partition(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        old = self._finding(line=10)
+        write_baseline([old], path)
+        baseline = Baseline.load(path)
+        moved = self._finding(line=42)
+        new, suppressed = baseline.partition([moved])
+        assert new == [] and suppressed == [moved]
+        assert baseline.unused_keys([moved]) == []
+        assert baseline.unused_keys([]) == [old.key]
+
+    def test_unknown_findings_are_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._finding()], path)
+        baseline = Baseline.load(path)
+        other = self._finding().__class__(
+            rule="determinism",
+            code="D104",
+            path="src/repro/uarch/x.py",
+            line=1,
+            col=0,
+            symbol="X.tick",
+            message="entropy",
+            detail="os.urandom",
+        )
+        new, suppressed = baseline.partition([other])
+        assert new == [other] and suppressed == []
+
+
+# -------------------------------------------------------------------- engine
+
+
+class TestEngine:
+    def test_unknown_rule_is_bad_spec(self):
+        with pytest.raises(BadSpecError):
+            LintEngine(_index(), rules=["nope"])
+
+    def test_path_filter_restricts_reporting(self, tmp_path):
+        (tmp_path / "src" / "repro" / "uarch").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (tmp_path / "src" / "repro" / "uarch" / "__init__.py").write_text("")
+        (tmp_path / "src" / "repro" / "uarch" / "a.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        (tmp_path / "src" / "repro" / "uarch" / "b.py").write_text(
+            "import time\nu = time.monotonic()\n"
+        )
+        index = RepoIndex.load(tmp_path)
+        engine = LintEngine(index, rules=["determinism"])
+        everything = engine.run().findings
+        assert len(everything) == 2
+        only_a = engine.run(
+            paths=[tmp_path / "src" / "repro" / "uarch" / "a.py"]
+        ).findings
+        assert [f.path for f in only_a] == ["src/repro/uarch/a.py"]
+
+    def test_syntax_error_is_bad_spec(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "broken.py").write_text("def f(:\n")
+        with pytest.raises(BadSpecError):
+            RepoIndex.load(tmp_path)
