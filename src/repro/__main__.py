@@ -542,9 +542,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         max_cache_bytes=args.max_cache_bytes,
         retry_after=args.retry_after,
+        lease_ttl=args.lease_ttl,
+        max_attempts=args.max_attempts,
         log=lambda line: print(line, file=sys.stderr),
     )
     return asyncio.run(serve(service))
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.service.worker import FleetWorker
+
+    worker = FleetWorker(
+        args.url,
+        name=args.name,
+        max_cells=args.max_cells,
+        poll_interval=args.poll_interval,
+        max_batches=args.max_batches,
+        backoff_seed=args.backoff_seed,
+        log=lambda line: print(f"work: {line}", file=sys.stderr),
+    )
+    return worker.run()
 
 
 def _load_document(path: str) -> Any:
@@ -1023,7 +1040,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-after", type=float, default=5.0,
         help="Retry-After seconds advertised on 429 responses (default: 5)",
     )
+    sub_serve.add_argument(
+        "--lease-ttl", type=float, default=15.0,
+        help="fleet lease lifetime in seconds; a worker that stops "
+             "heartbeating for this long has its cells reclaimed "
+             "(default: 15)",
+    )
+    sub_serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="claims a cell may consume before it is quarantined and the "
+             "job fails with its traceback (default: 3)",
+    )
     sub_serve.set_defaults(func=_cmd_serve)
+
+    sub_work = sub.add_parser(
+        "work",
+        help="run a fleet worker: pull cell batches from a repro serve "
+             "daemon over HTTP (exit 0 drained, 75 unreachable)",
+    )
+    sub_work.add_argument(
+        "--url", default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default: {DEFAULT_SERVICE_URL})",
+    )
+    sub_work.add_argument(
+        "--name", default=None, help="worker display name (default: its id)"
+    )
+    sub_work.add_argument(
+        "--max-cells", type=int, default=1,
+        help="cells to lease per claim (default: 1)",
+    )
+    sub_work.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="idle claim-poll ceiling in seconds (default: 0.5)",
+    )
+    sub_work.add_argument(
+        "--max-batches", type=int, default=None,
+        help="exit 0 after completing this many leases (default: until drained)",
+    )
+    sub_work.add_argument(
+        "--backoff-seed", type=int, default=0,
+        help="seed for the deterministic retry/idle backoff schedule; give "
+             "each worker its own to de-synchronise a fleet (default: 0)",
+    )
+    sub_work.set_defaults(func=_cmd_work)
 
     sub_submit = sub.add_parser(
         "submit", help="submit a job document to a running experiment service"

@@ -12,4 +12,5 @@ from repro.analysis.lint.rules import (  # noqa: F401  (imported for registratio
     exit_codes,
     privacy,
     probe_dispatch,
+    swallow,
 )

@@ -1,0 +1,102 @@
+"""Exception-swallow hygiene in the service layer (W7xx).
+
+The experiment daemon and its fleet are long-running: an exception silently
+dropped in :mod:`repro.service` does not crash a CLI run, it wedges a job in
+``running`` forever or leaks a lease until timeout — the exact failure class
+this repo's robustness tests exist to prevent.  One code:
+
+* ``W701`` — a handler that catches everything (bare ``except:``,
+  ``except Exception:``, or ``except BaseException:``) inside
+  ``repro.service`` whose body does nothing but ``pass``/``...``.  Broad
+  catches are legitimate at documented boundaries (the HTTP layer, the job
+  worker) *when they record an outcome*; a silent ``pass`` is never — at
+  minimum the handler must log, journal, count, or re-raise.  Narrow catches
+  (``except OSError: pass``) are out of scope: dropping a specific,
+  anticipated error is a policy decision the author can defend in review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.engine import (
+    LintRule,
+    ModuleInfo,
+    RepoIndex,
+    qualname_map,
+    register_lint_rule,
+)
+from repro.analysis.lint.findings import Finding
+
+#: Packages the rule patrols (prefix match on the module path).
+SERVICE_PACKAGES = ("repro.service",)
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:``, ``except Exception:``, ``except BaseException:``.
+
+    Tuples count when any element is broad; an ``except (OSError,
+    Exception):`` swallows everything just the same.
+    """
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad_name(element) for element in node.elts)
+    return _is_broad_name(node)
+
+
+def _is_broad_name(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in _BROAD
+
+
+def _body_is_silent(handler: ast.ExceptHandler) -> bool:
+    """Only ``pass`` / ``...`` statements: the exception leaves no trace."""
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ) and statement.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@register_lint_rule(
+    "swallow",
+    description="service-layer handlers must not silently swallow broad "
+    "exceptions (W7xx)",
+)
+class SwallowRule(LintRule):
+    name = "swallow"
+
+    def check_module(self, module: ModuleInfo, index: RepoIndex) -> Iterator[Finding]:
+        if not module.module.startswith(SERVICE_PACKAGES):
+            return
+        symbols = qualname_map(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not (_catches_everything(node) and _body_is_silent(node)):
+                continue
+            caught = (
+                "everything (bare except)"
+                if node.type is None
+                else ast.unparse(node.type)
+            )
+            yield Finding(
+                rule=self.name,
+                code="W701",
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                symbol=symbols.get(id(node), module.module),
+                message=f"broad catch of {caught} silently dropped; a "
+                "long-running service must log, journal, or re-raise "
+                "— a silent pass wedges jobs and leaks leases",
+                detail="silent-broad-except",
+            )

@@ -70,8 +70,21 @@ class JobCancelled(BaseException):
     """
 
 
+class CellQuarantined(SimulationError):
+    """A cell exhausted its fleet ``max_attempts`` and was parked.
+
+    Raised by the fleet executor (:mod:`repro.service.fleet`) when one cell
+    of a distributed job has crashed — or taken down its worker — on every
+    allowed attempt.  The cell is *quarantined*: its last traceback is
+    journaled and surfaced on the job record, and the job fails promptly
+    instead of wedging the whole fleet on a poisoned input.  Like any
+    :class:`SimulationError` it maps to HTTP 500 / exit code 3.
+    """
+
+
 __all__ = [
     "BadSpecError",
+    "CellQuarantined",
     "EXIT_BAD_SPEC",
     "EXIT_BUSY",
     "EXIT_INTERRUPTED",

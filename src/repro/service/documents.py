@@ -86,21 +86,30 @@ class ParsedDocument:
     # ------------------------------------------------------------ execution
 
     def execute(
-        self, engine: ExperimentEngine, progress: Optional[CellProgress] = None
+        self,
+        engine: ExperimentEngine,
+        progress: Optional[CellProgress] = None,
+        executor=None,
     ) -> Dict[str, Any]:
         """Run the document through ``engine`` and return its result document.
 
         The result is the JSON-able ``to_dict`` of the kind's native result
         type (:class:`SweepResult` / :class:`StudyResult` /
         :class:`ShardedRunResult`), so clients rebuild the same objects the
-        in-process APIs return.
+        in-process APIs return.  ``executor`` is the engine's cell-batch
+        execution seam (see :meth:`ExperimentEngine._run_jobs`) — the server
+        passes its fleet coordinator here when remote workers are registered.
         """
         if self.kind == "sweep":
-            result = engine.run_sweep(self.spec, progress=progress)
+            result = engine.run_sweep(self.spec, progress=progress, executor=executor)
         elif self.kind == "study":
-            result = run_study(self.spec, engine=engine, cell_progress=progress)
+            result = run_study(
+                self.spec, engine=engine, cell_progress=progress, executor=executor
+            )
         else:
-            result = run_replay_spec(self.spec, engine=engine, progress=progress)
+            result = run_replay_spec(
+                self.spec, engine=engine, progress=progress, executor=executor
+            )
         return result.to_dict()
 
 

@@ -10,20 +10,39 @@ killed mid-run only re-simulates its unfinished cells).
 
 The journal is JSON-lines, one event per line::
 
-    {"event": "submitted", "id": "j000001", "seq": 1, "document": {...}, ...}
-    {"event": "started",   "id": "j000001"}
-    {"event": "finished",  "id": "j000001", "accounting": {...}}
-    {"event": "failed",    "id": "j000001", "status": 500, "error": "..."}
+    {"event": "submitted",   "id": "j000001", "seq": 1, "document": {...}}
+    {"event": "started",     "id": "j000001"}
+    {"event": "lease",       "id": "j000001", "action": "claim",
+     "lease": "L000003", "worker": "w01", "cells": ["9f2c4e81aa00bb42"]}
+    {"event": "lease",       "id": "j000001", "action": "reclaim", ...}
+    {"event": "quarantined", "id": "j000001", "cell": "9f2c...", "error": "..."}
+    {"event": "finished",    "id": "j000001", "accounting": {...}}
+    {"event": "failed",      "id": "j000001", "status": 500, "error": "...",
+     "traceback": "..."}
+    {"event": "snapshot",    "id": "j000001", "record": {...}}
+
+``lease``/``quarantined`` events are the fleet's durability layer
+(:mod:`repro.service.fleet`): folding ``claim`` actions reconstructs each
+cell's attempt count, so a daemon restart neither forgets that a cell has
+already crashed workers nor un-quarantines a poisoned one.
 
 A torn final line (the daemon died mid-append) is ignored on replay; every
 complete line before it is intact because appends are single ``write`` calls
 followed by ``flush`` + ``fsync``.
+
+**Compaction** (:func:`compact_journal`) folds the whole log into one
+``snapshot`` event per job and atomically replaces the file, so the journal
+stops growing without bound across restarts.  The daemon compacts on
+startup (``JobJournal(path, compact=True)``) — before the append handle
+opens, through a temp file + fsync + ``os.replace``, so a crash mid-compact
+leaves the original journal untouched and torn-tail tolerance is preserved.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,6 +66,12 @@ class JobRecord:
     error: Optional[str] = None
     #: HTTP status class of a failure (400 bad spec vs 500 simulation crash).
     error_status: int = 500
+    #: Full traceback of a failure, when one was journaled.
+    error_traceback: Optional[str] = None
+    #: Fleet attempt counts per cell id (claims, including local fallback).
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: Quarantined cells: cell id -> last traceback/cause.
+    quarantined: Dict[str, str] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, Any]:
         """The JSON shape ``GET /v1/jobs`` and ``GET /v1/jobs/<id>`` return."""
@@ -62,15 +87,68 @@ class JobRecord:
         if self.error is not None:
             payload["error"] = self.error
             payload["error_status"] = self.error_status
+        if self.error_traceback is not None:
+            payload["traceback"] = self.error_traceback
+        if self.attempts:
+            payload["attempts"] = dict(self.attempts)
+        if self.quarantined:
+            payload["quarantined"] = dict(self.quarantined)
         return payload
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The full-fidelity dict a ``snapshot`` journal event embeds."""
+        return {
+            "id": self.id,
+            "seq": self.seq,
+            "document": self.document,
+            "state": self.state,
+            "description": self.description,
+            "cells": self.cells,
+            "accounting": self.accounting,
+            "error": self.error,
+            "error_status": self.error_status,
+            "error_traceback": self.error_traceback,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Any]) -> "JobRecord":
+        """Rebuild a record from a ``snapshot`` event (unknown keys ignored)."""
+        return cls(
+            id=str(data["id"]),
+            seq=int(data.get("seq", 0)),
+            document=data.get("document") or {},
+            state=data.get("state", "queued"),
+            description=data.get("description", ""),
+            cells=data.get("cells") or {},
+            accounting=data.get("accounting"),
+            error=data.get("error"),
+            error_status=int(data.get("error_status", 500)),
+            error_traceback=data.get("error_traceback"),
+            attempts={
+                str(k): int(v) for k, v in (data.get("attempts") or {}).items()
+            },
+            quarantined={
+                str(k): str(v) for k, v in (data.get("quarantined") or {}).items()
+            },
+        )
 
 
 class JobJournal:
-    """Append-only, fsync'd event log backing the service's job queue."""
+    """Append-only, fsync'd event log backing the service's job queue.
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``compact=True`` folds the existing log into per-job ``snapshot`` lines
+    before opening for append — the daemon's startup path, keeping the
+    journal's size proportional to the number of *jobs*, not the number of
+    lifecycle events ever emitted.
+    """
+
+    def __init__(self, path: Union[str, Path], compact: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if compact and self.path.exists():
+            compact_journal(self.path)
         self._handle = self.path.open("a", encoding="utf-8")
         # Admission appends from executor threads; the worker loop appends
         # from the event-loop thread.  One lock keeps lines whole.
@@ -99,8 +177,8 @@ def replay_journal(path: Union[str, Path]) -> List[JobRecord]:
     """Fold a journal file into job records, in submission order.
 
     Unknown events and a torn trailing line are skipped; events referencing
-    jobs with no ``submitted`` record are ignored (they cannot be resumed
-    without their document).
+    jobs with no ``submitted``/``snapshot`` record are ignored (they cannot
+    be resumed without their document).
     """
     path = Path(path)
     records: Dict[str, JobRecord] = {}
@@ -127,6 +205,10 @@ def replay_journal(path: Union[str, Path]) -> List[JobRecord]:
                     description=event.get("description", ""),
                     cells=event.get("cells") or {},
                 )
+            elif name == "snapshot" and isinstance(job_id, str):
+                record_data = event.get("record")
+                if isinstance(record_data, dict) and "id" in record_data:
+                    records[job_id] = JobRecord.from_snapshot(record_data)
             elif job_id in records:
                 record = records[job_id]
                 if name == "started":
@@ -138,7 +220,54 @@ def replay_journal(path: Union[str, Path]) -> List[JobRecord]:
                     record.state = "failed"
                     record.error = event.get("error", "unknown error")
                     record.error_status = int(event.get("status", 500))
+                    record.error_traceback = event.get("traceback")
+                elif name == "lease" and event.get("action") == "claim":
+                    for cell in event.get("cells") or []:
+                        cell = str(cell)
+                        record.attempts[cell] = record.attempts.get(cell, 0) + 1
+                elif name == "quarantined":
+                    cell = str(event.get("cell"))
+                    record.quarantined[cell] = str(
+                        event.get("error", "unknown cause")
+                    )
     return sorted(records.values(), key=lambda record: record.seq)
+
+
+def compact_journal(path: Union[str, Path]) -> List[JobRecord]:
+    """Fold ``path`` into one ``snapshot`` line per job, atomically.
+
+    Replays the existing log (tolerating a torn tail), writes the folded
+    records to a temp file in the same directory, fsyncs, and
+    ``os.replace``\\ s it over the original — a crash at any point leaves
+    either the old or the new journal, never a mix.  Returns the records,
+    saving callers a second replay.
+    """
+    path = Path(path)
+    records = replay_journal(path)
+    if not path.exists():
+        return records
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".journal-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for record in records:
+                line = json.dumps(
+                    {"event": "snapshot", "id": record.id,
+                     "record": record.snapshot()},
+                    sort_keys=True,
+                )
+                handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return records
 
 
 def next_seq(records: List[JobRecord]) -> int:
@@ -146,4 +275,11 @@ def next_seq(records: List[JobRecord]) -> int:
     return max((record.seq for record in records), default=0) + 1
 
 
-__all__ = ["JOB_STATES", "JobJournal", "JobRecord", "next_seq", "replay_journal"]
+__all__ = [
+    "JOB_STATES",
+    "JobJournal",
+    "JobRecord",
+    "compact_journal",
+    "next_seq",
+    "replay_journal",
+]

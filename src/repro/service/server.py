@@ -23,6 +23,12 @@ Graceful shutdown: SIGINT/SIGTERM stop admission, cancel running jobs at
 their next cell boundary (completed cells are already in the result cache),
 flush the journal, and exit — interrupted jobs stay ``queued``/``running``
 in the journal and resume on the next start.
+
+Fleet: when remote workers register (``repro work``, ``/v1/workers``), jobs
+execute through the :class:`~repro.service.fleet.FleetCoordinator` — cells
+are leased to workers over HTTP, results flow back through ``complete``,
+and this daemon stays the *only* cache writer.  With no workers registered
+the engine's in-process pool path is used unchanged.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ import signal
 import sys
 import tempfile
 import threading
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -46,6 +53,12 @@ from repro.errors import (
     JobCancelled,
 )
 from repro.service.documents import ParsedDocument, parse_document
+from repro.service.fleet import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    FleetCoordinator,
+    FleetProtocolError,
+)
 from repro.service.journal import JobJournal, JobRecord, next_seq, replay_journal
 from repro.simulation.engine import ExperimentEngine
 
@@ -102,6 +115,9 @@ class ExperimentService:
         max_cache_bytes: Optional[int] = None,
         retry_after: float = 5.0,
         start_paused: bool = False,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        fault_plan: Optional[Any] = None,
         log=None,
     ) -> None:
         if max_queue < 0:
@@ -125,13 +141,27 @@ class ExperimentService:
         )
         assert self.engine.cache is not None
         self.engine.cache.max_bytes = max_cache_bytes
-        self.journal = JobJournal(self.state_dir / "journal.jsonl")
+        # Startup compaction folds prior lifecycles into snapshot records so
+        # the journal's size tracks jobs, not events ever emitted.
+        self.journal = JobJournal(self.state_dir / "journal.jsonl", compact=True)
         self.jobs: Dict[str, _Job] = {}
         self._queue: "asyncio.Queue[str]" = asyncio.Queue()
         self._next_seq = 1
         #: Threading (not asyncio) event: checked from executor threads at
         #: every cell boundary to cancel running engine work cooperatively.
         self._stop = threading.Event()
+        #: Test-only fault injection (see ``tests/chaos.py``): consulted per
+        #: HTTP request (drop/delay/error) and per lease sweep (early expiry).
+        self.fault_plan = fault_plan
+        self.fleet = FleetCoordinator(
+            journal=self.journal,
+            lease_ttl=lease_ttl,
+            max_attempts=max_attempts,
+            stop_event=self._stop,
+            fault_plan=fault_plan,
+            event_sink=self._fleet_event_sink,
+            log=self._log,
+        )
         self._interrupted_jobs = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -187,6 +217,7 @@ class ExperimentService:
         stays incomplete in the journal and resumes on restart), else 0.
         """
         self._stop.set()
+        self.fleet.wake()  # distributed job threads re-check _stop now
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -230,36 +261,62 @@ class ExperimentService:
                 # stop() cancelled us mid-await; the thread unwinds on its
                 # own via the _stop flag and the job resumes next start.
                 raise
+            except BaseException as exc:  # noqa: BLE001
+                # _execute_job never raises, but the await around it can
+                # (executor shutdown races, broken futures).  Swallowing
+                # this here used to kill the worker task and strand the job
+                # in "running" forever — fail it loudly instead.
+                outcome = (
+                    "failed", 500, f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                )
             kind = outcome[0]
-            if kind == "ok":
-                _, result_doc, accounting = outcome
-                self._write_result(job_id, result_doc)
-                job.record.accounting = accounting
-                job.record.state = "done"
-                self.journal.append(
-                    {"event": "finished", "id": job_id, "accounting": accounting}
+            try:
+                if kind == "ok":
+                    _, result_doc, accounting, _ = outcome
+                    self._write_result(job_id, result_doc)
+                    job.record.accounting = accounting
+                    job.record.state = "done"
+                    self.journal.append(
+                        {"event": "finished", "id": job_id, "accounting": accounting}
+                    )
+                    self._post_event(job, {"type": "done", "accounting": accounting})
+                    self._log(f"job {job_id} done: {accounting}")
+                elif kind == "cancelled":
+                    # No journal event: the job is still queued/running on disk
+                    # and will be resumed by the next daemon start.
+                    job.record.state = "queued"
+                    self._interrupted_jobs += 1
+                    self._log(f"job {job_id} interrupted; will resume on restart")
+                else:
+                    self._fail_job(job, outcome)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 — e.g. _write_result OSError
+                self._fail_job(
+                    job,
+                    ("failed", 500, f"{type(exc).__name__}: {exc}",
+                     traceback.format_exc()),
                 )
-                self._post_event(job, {"type": "done", "accounting": accounting})
-                self._log(f"job {job_id} done: {accounting}")
-            elif kind == "cancelled":
-                # No journal event: the job is still queued/running on disk
-                # and will be resumed by the next daemon start.
-                job.record.state = "queued"
-                self._interrupted_jobs += 1
-                self._log(f"job {job_id} interrupted; will resume on restart")
-            else:
-                _, status, message = outcome
-                job.record.state = "failed"
-                job.record.error = message
-                job.record.error_status = status
-                self.journal.append(
-                    {"event": "failed", "id": job_id, "status": status,
-                     "error": message}
-                )
-                self._post_event(
-                    job, {"type": "failed", "status": status, "error": message}
-                )
-                self._log(f"job {job_id} failed ({status}): {message}")
+
+    def _fail_job(self, job: _Job, outcome: Tuple[Any, ...]) -> None:
+        """Journal and publish a terminal failure (traceback included)."""
+        _, status, message, trace = outcome
+        job_id = job.record.id
+        job.record.state = "failed"
+        job.record.error = message
+        job.record.error_status = status
+        job.record.error_traceback = trace
+        event: Dict[str, Any] = {
+            "event": "failed", "id": job_id, "status": status, "error": message,
+        }
+        if trace is not None:
+            event["traceback"] = trace
+        self.journal.append(event)
+        self._post_event(
+            job, {"type": "failed", "status": status, "error": message}
+        )
+        self._log(f"job {job_id} failed ({status}): {message}")
 
     def _execute_job(self, job: _Job) -> Tuple[Any, ...]:
         """Run one job in a worker thread; never raises (returns outcomes).
@@ -285,14 +342,24 @@ class ExperimentService:
 
         try:
             parsed: ParsedDocument = parse_document(job.record.document)
-            result_doc = parsed.execute(self.engine, progress=progress)
+            # The fleet path is taken only when workers are registered; with
+            # none, executor=None keeps the engine's in-process pool path.
+            executor = None
+            if self.fleet.has_workers():
+                executor = self.fleet.make_executor(job.record)
+            result_doc = parsed.execute(
+                self.engine, progress=progress, executor=executor
+            )
         except JobCancelled:
-            return ("cancelled", None, None)
+            return ("cancelled", None, None, None)
         except BadSpecError as exc:
-            return ("failed", 400, str(exc))
+            return ("failed", 400, str(exc), traceback.format_exc())
         except BaseException as exc:  # noqa: BLE001 — worker must not leak
-            return ("failed", 500, f"{type(exc).__name__}: {exc}")
-        return ("ok", result_doc, counts)
+            return (
+                "failed", 500, f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+            )
+        return ("ok", result_doc, counts, None)
 
     def _write_result(self, job_id: str, result_doc: Dict[str, Any]) -> None:
         """Persist a finished job's result document atomically."""
@@ -312,6 +379,16 @@ class ExperimentService:
             raise
 
     # -------------------------------------------------------------- events
+
+    def _fleet_event_sink(self, job_id: str, event: Dict[str, Any]) -> None:
+        """Fleet lifecycle events -> the job's event stream (any thread)."""
+        job = self.jobs.get(job_id)
+        if job is None or self._loop is None or self._loop.is_closed():
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._post_event, job, dict(event))
+        except RuntimeError:
+            pass  # loop shut down between the check and the call
 
     def _post_event(self, job: _Job, event: Dict[str, Any]) -> None:
         """Append one progress event and wake every long-poll waiter."""
@@ -410,17 +487,37 @@ class ExperimentService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         status, payload, headers = 500, {"error": "internal error"}, {}
+        drop_response = False
+        delay = 0.0
         try:
             request = await self._read_request(reader)
             if request is None:
                 return  # client closed without sending a request
-            status, payload, headers = await self._dispatch(*request)
+            fault = self._fault_action(request[0], request[1])
+            if fault is not None and fault[0] == "drop":
+                writer.close()
+                return  # connection dies before the daemon acts
+            if fault is not None and fault[0] == "error":
+                status, payload = int(fault[1]), {"error": "injected fault"}
+            else:
+                if fault is not None and fault[0] == "drop-after":
+                    drop_response = True  # daemon acts; client never hears
+                elif fault is not None and fault[0] == "delay":
+                    delay = float(fault[1])
+                status, payload, headers = await self._dispatch(*request)
         except _HttpError as exc:
+            status, payload, headers = exc.status, {"error": exc.message}, {}
+        except FleetProtocolError as exc:
             status, payload, headers = exc.status, {"error": exc.message}, {}
         except BadSpecError as exc:
             status, payload, headers = 400, {"error": str(exc)}, {}
         except Exception as exc:  # noqa: BLE001 — a request must never kill the loop
             status, payload, headers = 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        if drop_response:
+            writer.close()
+            return
+        if delay:
+            await asyncio.sleep(delay)
         try:
             body = json.dumps(payload).encode()
             lines = [
@@ -440,6 +537,15 @@ class ExperimentService:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _fault_action(self, method: str, path: str) -> Optional[Tuple[Any, ...]]:
+        """Consult the chaos plan (if any) for this request; None = healthy."""
+        if self.fault_plan is None:
+            return None
+        on_request = getattr(self.fault_plan, "on_request", None)
+        if on_request is None:
+            return None
+        return on_request(method, path)
 
     @staticmethod
     async def _read_request(
@@ -505,9 +611,19 @@ class ExperimentService:
                     "workers": self.engine.workers,
                     "paused": not self._worker_tasks,
                     "cache": self.engine.cache.stats().to_dict(),
+                    "fleet": self.fleet.snapshot(),
                 },
                 {},
             )
+        if path == "/v1/workers":
+            if method == "POST":
+                name = (body or {}).get("name")
+                return 200, self.fleet.register(name), {}
+            if method == "GET":
+                return 200, self.fleet.snapshot(), {}
+            raise _HttpError(405, f"{method} not supported on {path}")
+        if path.startswith("/v1/workers/"):
+            return await self._dispatch_worker(method, path, body)
         if path == "/v1/cache/stats":
             if method != "GET":
                 raise _HttpError(405, f"{method} not supported on {path}")
@@ -527,6 +643,48 @@ class ExperimentService:
             return 200, result.to_dict(), {}
         if path.startswith("/v1/jobs/"):
             return await self._dispatch_job(method, path, query)
+        raise _HttpError(404, f"no route for {path!r}")
+
+    async def _dispatch_worker(
+        self, method: str, path: str, body: Any
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """The fleet's worker API: ``/v1/workers/<id>[/<verb>]``.
+
+        ``claim`` and ``complete`` append fsync'd journal events, so both
+        run in an executor thread instead of blocking the event loop.
+        """
+        parts = path.split("/")  # ['', 'v1', 'workers', '<id>', maybe verb]
+        worker_id = parts[3]
+        assert self._loop is not None
+        if len(parts) == 4:
+            if method != "DELETE":
+                raise _HttpError(405, f"{method} not supported on {path}")
+            return 200, self.fleet.deregister(worker_id), {}
+        if len(parts) != 5:
+            raise _HttpError(404, f"no route for {path!r}")
+        verb = parts[4]
+        if method != "POST":
+            raise _HttpError(405, f"{method} not supported on {path}")
+        if verb == "claim":
+            max_cells = int((body or {}).get("max_cells", 1))
+            reply = await self._loop.run_in_executor(
+                None, lambda: self.fleet.claim(worker_id, max_cells)
+            )
+            return 200, reply, {}
+        if verb == "heartbeat":
+            leases = [str(lease) for lease in (body or {}).get("leases", [])]
+            return 200, self.fleet.heartbeat(worker_id, leases), {}
+        if verb == "complete":
+            lease_id = str((body or {}).get("lease", ""))
+            outcomes = (body or {}).get("outcomes", [])
+            if not isinstance(outcomes, list):
+                raise _HttpError(400, "outcomes must be a list")
+            reply = await self._loop.run_in_executor(
+                None, lambda: self.fleet.complete(worker_id, lease_id, outcomes)
+            )
+            return 200, reply, {}
+        if verb == "drain":
+            return 200, self.fleet.drain(worker_id), {}
         raise _HttpError(404, f"no route for {path!r}")
 
     async def _dispatch_job(

@@ -1,0 +1,259 @@
+"""``repro work`` — a fleet worker process pulling cell batches over HTTP.
+
+The loop (see :class:`FleetWorker`):
+
+1. **register** with the daemon (``POST /v1/workers``), learning the lease
+   TTL and heartbeat cadence;
+2. **claim** a lease of up to ``max_cells`` cells; while executing them a
+   background thread **heartbeats** every ``lease_ttl / 3`` seconds so the
+   lease never expires under a healthy worker;
+3. **complete** the lease with per-cell results (or tracebacks);
+4. repeat until told to **drain** (finish the batch, deregister, exit 0)
+   or interrupted.
+
+Every HTTP call inherits :class:`~repro.service.client.ServiceClient`'s
+seeded deterministic backoff; the worker layers its own policy on top —
+an idle claim poll backs off exponentially to ``poll_interval`` and the
+worker gives up with exit code 75 (``EX_TEMPFAIL``) after
+``unreachable_after`` consecutive connection failures.  A lease the server
+reports **stale** (we were presumed dead and our cells reassigned) is
+dropped without completing: the daemon rejects stale completions anyway,
+which is what keeps a partitioned worker from double-delivering.
+
+Exit codes: ``0`` drained or batch budget exhausted, ``75`` daemon
+unreachable, ``130`` interrupted (the CLI maps ``KeyboardInterrupt``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import EXIT_BUSY, EXIT_OK
+from repro.service.client import Backoff, ServiceClient, ServiceError
+from repro.simulation.engine import execute_cell_payload
+
+#: Consecutive connection failures before the worker exits EX_TEMPFAIL.
+DEFAULT_UNREACHABLE_AFTER = 5
+
+#: Idle-poll ceiling (seconds) between claims when the queue is empty.
+DEFAULT_POLL_INTERVAL = 0.5
+
+
+class _HeartbeatThread:
+    """Renews one lease until stopped; flags drain/stale for the main loop."""
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        worker_id: str,
+        lease_id: str,
+        every: float,
+        sleep: Callable[[float], None],
+    ) -> None:
+        self._client = client
+        self._worker_id = worker_id
+        self._lease_id = lease_id
+        self._every = max(0.01, every)
+        self._sleep = sleep
+        self._stop = threading.Event()
+        self.drain = False
+        self.stale = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._every):
+            try:
+                reply = self._client.worker_heartbeat(
+                    self._worker_id, [self._lease_id]
+                )
+            except (ServiceError, ConnectionError, TimeoutError, OSError):
+                continue  # transient; the lease TTL absorbs a few misses
+            if reply.get("drain"):
+                self.drain = True
+            if self._lease_id in reply.get("stale", []):
+                self.stale = True
+                return
+
+
+class FleetWorker:
+    """One worker process's register → claim → execute → complete loop.
+
+    ``execute`` defaults to the engine's public
+    :func:`~repro.simulation.engine.execute_cell_payload` seam; tests swap
+    it (and ``client``/``sleep``) to build deterministic in-process fleets.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        name: Optional[str] = None,
+        max_cells: int = 1,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        unreachable_after: int = DEFAULT_UNREACHABLE_AFTER,
+        max_batches: Optional[int] = None,
+        backoff_seed: int = 0,
+        client: Optional[ServiceClient] = None,
+        execute: Callable[[Dict[str, Any]], Dict[str, Any]] = execute_cell_payload,
+        sleep: Callable[[float], None] = time.sleep,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.client = client if client is not None else ServiceClient(
+            url, backoff_seed=backoff_seed
+        )
+        self.name = name
+        self.max_cells = max(1, max_cells)
+        self.poll_interval = poll_interval
+        self.unreachable_after = unreachable_after
+        #: Stop after this many completed leases (None: run until drained).
+        self.max_batches = max_batches
+        self.backoff_seed = backoff_seed
+        self._execute = execute
+        self._sleep = sleep
+        self._log = log or (lambda line: None)
+        self.worker_id: Optional[str] = None
+        self.heartbeat_every = 1.0
+        self.batches_done = 0
+        self.cells_done = 0
+        self._drained = False
+        self._stop = threading.Event()
+
+    def request_stop(self) -> None:
+        """Ask the loop to exit at the next claim boundary (thread-safe)."""
+        self._stop.set()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def run(self) -> int:
+        """The worker main loop; returns the process exit code."""
+        if not self._register():
+            return EXIT_BUSY
+        failures = 0
+        idle = Backoff(
+            base=self.poll_interval / 8.0,
+            max_delay=self.poll_interval,
+            seed=self.backoff_seed + 1,
+        )
+        try:
+            while not self._stop.is_set():
+                if (
+                    self.max_batches is not None
+                    and self.batches_done >= self.max_batches
+                ):
+                    break
+                try:
+                    grant = self.client.worker_claim(self.worker_id, self.max_cells)
+                except (ConnectionError, TimeoutError, OSError):
+                    failures += 1
+                    if failures >= self.unreachable_after:
+                        self._log("daemon unreachable; giving up")
+                        return EXIT_BUSY
+                    self._sleep(self.poll_interval)
+                    continue
+                except ServiceError as exc:
+                    if exc.status == 404:
+                        # The daemon restarted and forgot us: rejoin.
+                        if not self._register():
+                            return EXIT_BUSY
+                        continue
+                    raise
+                failures = 0
+                if grant.get("drain"):
+                    self._log("drain requested; exiting")
+                    break
+                cells = grant.get("cells") or []
+                if not cells:
+                    self._sleep(idle.next_delay())
+                    continue
+                idle.reset()
+                self._run_lease(grant["lease"]["id"], cells)
+                if self._drained:
+                    break
+        finally:
+            self._deregister()
+        return EXIT_OK
+
+    # -------------------------------------------------------------- internals
+
+    def _register(self) -> bool:
+        backoff = Backoff(seed=self.backoff_seed)
+        for _ in range(self.unreachable_after):
+            try:
+                reply = self.client.worker_register(self.name)
+            except (ConnectionError, TimeoutError, OSError):
+                self._sleep(backoff.next_delay())
+                continue
+            self.worker_id = reply["worker"]
+            lease_ttl = float(reply.get("lease_ttl", 15.0))
+            self.heartbeat_every = float(
+                reply.get("heartbeat_every", lease_ttl / 3.0)
+            )
+            self._drained = False
+            self._log(f"registered as {self.worker_id}")
+            return True
+        self._log("daemon unreachable; could not register")
+        return False
+
+    def _run_lease(self, lease_id: str, cells: List[Dict[str, Any]]) -> None:
+        """Execute one lease's cells under heartbeat, then complete it."""
+        heartbeat = _HeartbeatThread(
+            self.client, self.worker_id, lease_id, self.heartbeat_every, self._sleep
+        )
+        heartbeat.start()
+        outcomes: List[Dict[str, Any]] = []
+        try:
+            for cell in cells:
+                if heartbeat.stale:
+                    # Presumed dead and reassigned: abandon the rest; any
+                    # completion we send would be rejected as stale anyway.
+                    self._log(f"lease {lease_id} went stale; abandoning batch")
+                    break
+                cell_id = cell["cell"]
+                try:
+                    result = self._execute(cell["payload"])
+                except Exception:
+                    outcomes.append(
+                        {"cell": cell_id, "error": traceback.format_exc()}
+                    )
+                else:
+                    outcomes.append({"cell": cell_id, "result": result})
+        finally:
+            heartbeat.stop()
+        if heartbeat.drain:
+            self._drained = True
+        try:
+            reply = self.client.worker_complete(self.worker_id, lease_id, outcomes)
+        except (ServiceError, ConnectionError, TimeoutError, OSError) as exc:
+            # The daemon never learned: the lease will expire and the cells
+            # re-queue — correctness is the server's (it dedupes by lease).
+            self._log(f"complete({lease_id}) failed: {exc}")
+            return
+        if reply.get("stale"):
+            self._log(f"lease {lease_id} completion rejected as stale")
+            return
+        self.batches_done += 1
+        self.cells_done += int(reply.get("accepted", 0))
+
+    def _deregister(self) -> None:
+        if self.worker_id is None:
+            return
+        try:
+            self.client.worker_deregister(self.worker_id)
+        except (ServiceError, ConnectionError, TimeoutError, OSError):
+            pass  # the daemon reclaims our leases by timeout either way
+
+
+__all__ = [
+    "DEFAULT_POLL_INTERVAL",
+    "DEFAULT_UNREACHABLE_AFTER",
+    "FleetWorker",
+]

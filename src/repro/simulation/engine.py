@@ -377,6 +377,31 @@ def _execute_batch(payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return [_execute_job(payload) for payload in payloads]
 
 
+def execute_cell_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Public cell-execution seam: run one expanded job payload locally.
+
+    This is exactly what the engine's own serial path and process-pool
+    workers run per cell — exposed so *remote* executors (the fleet worker of
+    :mod:`repro.service.worker`, the coordinator's local fallback) funnel
+    through the same single function and stay bit-identical by construction.
+    The payload must be JSON-shaped (``trace`` is ``None``; sources are
+    ``workload``/``file`` descriptors), which every service-submitted
+    document guarantees.
+    """
+    return _execute_job(payload)
+
+
+def job_cache_key(payload: Dict[str, Any]) -> str:
+    """Public content-hash seam for one expanded job payload.
+
+    The fleet layer uses this as the *cell identity*: stable across daemon
+    restarts (it hashes the cell's full input, not its position in a run),
+    so journaled per-cell attempt counts survive a crash and a poisoned cell
+    stays quarantined after recovery.
+    """
+    return _job_cache_key(payload)
+
+
 # --------------------------------------------------------------- result cache
 
 
@@ -633,12 +658,14 @@ class ExperimentEngine:
         )
         return cached, len(payloads)
 
-    def run_sweep(self, spec: SweepSpec, progress=None) -> SweepResult:
+    def run_sweep(self, spec: SweepSpec, progress=None, executor=None) -> SweepResult:
         """Run a full sweep spec and return one comparison grid per config."""
         variants = spec.resolved_variants()
         workloads = spec.resolved_workloads()
         override_sets = [dict(overrides) for overrides in spec.configs] or [{}]
-        results = self._run_jobs(self.expand_sweep_payloads(spec), progress=progress)
+        results = self._run_jobs(
+            self.expand_sweep_payloads(spec), progress=progress, executor=executor
+        )
         cells: List[SweepCell] = []
         cursor = 0
         grid = len(workloads) * len(variants)
@@ -738,7 +765,7 @@ class ExperimentEngine:
         )
 
     def run_jobs(
-        self, jobs: Sequence[JobSpec], progress=None
+        self, jobs: Sequence[JobSpec], progress=None, executor=None
     ) -> List[SimulationResult]:
         """Run heterogeneous, individually-configured cells in one engine pass.
 
@@ -747,7 +774,9 @@ class ExperimentEngine:
         through the same cache + pool machinery as sweeps, so results come
         back in job order and ``last_run_stats`` accounts for the whole batch.
         """
-        return self._run_jobs(self.expand_job_payloads(jobs), progress=progress)
+        return self._run_jobs(
+            self.expand_job_payloads(jobs), progress=progress, executor=executor
+        )
 
     def expand_job_payloads(self, jobs: Sequence[JobSpec]) -> List[Dict[str, Any]]:
         """Validate and expand :class:`JobSpec`\\ s into engine job payloads."""
@@ -821,6 +850,7 @@ class ExperimentEngine:
         max_cycles: Optional[int] = None,
         probes: Sequence[str] = (),
         progress=None,
+        executor=None,
     ) -> List[SimulationResult]:
         """Run windows of one trace as independent cells (the shard path).
 
@@ -840,7 +870,7 @@ class ExperimentEngine:
             max_cycles=max_cycles,
             probes=probes,
         )
-        return self._run_jobs(payloads, progress=progress)
+        return self._run_jobs(payloads, progress=progress, executor=executor)
 
     def expand_trace_window_payloads(
         self,
@@ -915,7 +945,7 @@ class ExperimentEngine:
     # ------------------------------------------------------------ execution
 
     def _run_jobs(
-        self, payloads: List[Dict[str, Any]], progress=None
+        self, payloads: List[Dict[str, Any]], progress=None, executor=None
     ) -> List[SimulationResult]:
         """Run jobs in their given order; cache first, then pool or serial.
 
@@ -926,6 +956,14 @@ class ExperimentEngine:
         so a killed run resumes from every cell that finished.  A ``progress``
         callback may raise :class:`~repro.errors.JobCancelled` to abort the
         run between cells; outstanding pool work is then cancelled.
+
+        ``executor`` (optional) is the cell-batch execution seam: a callable
+        ``executor(payloads, on_result)`` that replaces the pool/serial path
+        for the *uncached* cells — the experiment service installs its fleet
+        coordinator here to farm cells out to remote workers.  It must invoke
+        ``on_result(offset, result_dict)`` exactly once per payload (any
+        order); cache writes and progress accounting stay on this side, so a
+        distributed run is cache-accounted identically to a local one.
         """
         stats = EngineRunStats(total_jobs=len(payloads))
         outputs: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
@@ -959,12 +997,16 @@ class ExperimentEngine:
                 if progress is not None:
                     progress(done, len(payloads), "simulated")
 
-            self._execute_pending([payloads[i] for i in pending], on_result)
+            self._execute_pending(
+                [payloads[i] for i in pending], on_result, executor=executor
+            )
 
         self.last_run_stats = stats
         return [SimulationResult.from_dict(output) for output in outputs]
 
-    def _execute_pending(self, payloads: List[Dict[str, Any]], on_result) -> None:
+    def _execute_pending(
+        self, payloads: List[Dict[str, Any]], on_result, executor=None
+    ) -> None:
         """Execute uncached payloads, delivering each result via ``on_result``.
 
         ``on_result(offset, produced)`` is invoked in submission order.  On
@@ -972,7 +1014,14 @@ class ExperimentEngine:
         outstanding futures are cancelled and worker processes terminated
         before the exception propagates — a Ctrl-C no longer tracebacks out
         of ``ProcessPoolExecutor``'s shutdown machinery with workers leaked.
+
+        With ``executor`` set, the whole pending batch is handed to it
+        instead (see :meth:`_run_jobs`); the executor owns scheduling,
+        retries, and fallback, and delivers results through ``on_result``.
         """
+        if executor is not None:
+            executor(payloads, on_result)
+            return
         batches = self._batch_payloads(payloads)
         delivered = 0
         if self.workers > 1 and len(batches) > 1:
@@ -1065,4 +1114,6 @@ __all__ = [
     "SweepCell",
     "SweepResult",
     "SweepSpec",
+    "execute_cell_payload",
+    "job_cache_key",
 ]

@@ -194,6 +194,7 @@ def run_sharded(
     max_cycles: Optional[int] = None,
     probes: Sequence[str] = (),
     progress=None,
+    executor=None,
 ) -> ShardedRunResult:
     """Replay one trace as ``shards`` parallel windows and stitch the stats.
 
@@ -239,6 +240,7 @@ def run_sharded(
         max_cycles=max_cycles,
         probes=list(probes),
         progress=progress,
+        executor=executor,
     )
     weights = plan.weights()
     shard_results = [
@@ -313,6 +315,7 @@ def run_replay_spec(
     spec: ReplaySpec,
     engine: Optional[ExperimentEngine] = None,
     progress=None,
+    executor=None,
 ) -> ShardedRunResult:
     """Execute a :class:`ReplaySpec` through ``engine`` (the service path)."""
     from repro.workloads.source import FileTraceSource
@@ -327,6 +330,7 @@ def run_replay_spec(
         max_cycles=spec.max_cycles,
         probes=list(spec.probes),
         progress=progress,
+        executor=executor,
     )
 
 

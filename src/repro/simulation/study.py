@@ -339,6 +339,7 @@ def run_study(
     engine: Optional[ExperimentEngine] = None,
     progress=None,
     cell_progress=None,
+    executor=None,
 ) -> StudyResult:
     """Expand ``spec`` and run every cell through ``engine`` in one pass.
 
@@ -361,7 +362,7 @@ def run_study(
             f"x {len(variants)} variants = {len(jobs)} cells "
             f"({spec.num_uops} micro-ops each)"
         )
-    results = engine.run_jobs(jobs, progress=cell_progress)
+    results = engine.run_jobs(jobs, progress=cell_progress, executor=executor)
     stats: EngineRunStats = engine.last_run_stats
     per_point = len(workloads) * len(variants)
     point_results: List[StudyPointResult] = []

@@ -1,0 +1,231 @@
+"""Deterministic fault injection for the fleet: the chaos harness.
+
+Two injection surfaces, both **counter-triggered** (never clock- or
+random-triggered) so every chaos test replays identically:
+
+* **Worker side** — :class:`FaultyClient` wraps a real
+  :class:`~repro.service.client.ServiceClient` and raises
+  :class:`WorkerKilled` at a scripted point:
+
+  - ``kill_after_claim=k``: the k-th *non-empty* claim succeeds on the
+    server (the lease exists, cells are assigned) and then the worker
+    "dies" — exactly what SIGKILL between claim and execute looks like;
+  - ``kill_before_complete=k``: the k-th batch is fully executed but the
+    completion never leaves the worker — SIGKILL after compute, before
+    delivery, proving re-execution doesn't double-write the cache.
+
+  ``WorkerKilled`` subclasses ``BaseException`` so no ``except Exception``
+  in the worker loop can absorb it, and once dead the client raises
+  ``ConnectionError`` forever — including for the deregister in the worker's
+  ``finally`` — so the daemon only ever finds out via lease expiry, like a
+  real kill.  :class:`ChaosWorker` runs the whole loop on a thread and
+  records whether it exited or died.
+
+* **Server side** — :class:`FaultPlan` plugs into
+  ``ExperimentService(fault_plan=...)``:
+
+  - ``requests=[{"method", "path_contains", "skip", "times", "action"}]``
+    is consulted per HTTP request; actions are ``("drop",)`` (connection
+    dies before the daemon acts), ``("drop-after",)`` (the daemon acts but
+    the client never hears — the duplicate-delivery trap), ``("delay", s)``
+    and ``("error", status)``;
+  - ``expire_leases={"L000001"}`` forces named leases to expire at the next
+    sweep regardless of deadline (lease ids are sequential per daemon, so
+    "the first lease" is addressable deterministically).
+
+The real-process variant of all this — ``kill -9`` on actual ``repro work``
+processes — runs in CI's ``fleet-smoke`` job; these in-process fixtures are
+what make the failure *timing* reproducible enough for digest assertions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.client import ServiceClient
+from repro.service.worker import FleetWorker
+
+
+class WorkerKilled(BaseException):
+    """Simulated SIGKILL: tears the worker down through any ``except``."""
+
+
+class FaultyClient:
+    """A ServiceClient proxy that dies on cue and stays dead."""
+
+    def __init__(
+        self,
+        inner: ServiceClient,
+        kill_after_claim: Optional[int] = None,
+        kill_before_complete: Optional[int] = None,
+    ) -> None:
+        self._inner = inner
+        self._kill_after_claim = kill_after_claim
+        self._kill_before_complete = kill_before_complete
+        self._claims_with_cells = 0
+        self._completes = 0
+        self.dead = False
+
+    def __getattr__(self, name: str) -> Any:
+        if self.dead:
+            raise ConnectionError("worker process is dead")
+        return getattr(self._inner, name)
+
+    def worker_claim(self, worker_id: str, max_cells: int = 1) -> Dict[str, Any]:
+        if self.dead:
+            raise ConnectionError("worker process is dead")
+        grant = self._inner.worker_claim(worker_id, max_cells)
+        if grant.get("cells"):
+            self._claims_with_cells += 1
+            if self._claims_with_cells == self._kill_after_claim:
+                self.dead = True
+                raise WorkerKilled(f"killed after claim #{self._claims_with_cells}")
+        return grant
+
+    def worker_complete(
+        self, worker_id: str, lease_id: str, outcomes: list
+    ) -> Dict[str, Any]:
+        if self.dead:
+            raise ConnectionError("worker process is dead")
+        self._completes += 1
+        if self._completes == self._kill_before_complete:
+            self.dead = True
+            raise WorkerKilled(f"killed before complete #{self._completes}")
+        return self._inner.worker_complete(worker_id, lease_id, outcomes)
+
+
+class ChaosWorker:
+    """A FleetWorker on a thread, with an optional scripted death."""
+
+    def __init__(
+        self,
+        base_url: str,
+        name: str,
+        kill_after_claim: Optional[int] = None,
+        kill_before_complete: Optional[int] = None,
+        max_cells: int = 1,
+        poll_interval: float = 0.05,
+        backoff_seed: int = 0,
+        execute: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    ) -> None:
+        self.client = FaultyClient(
+            ServiceClient(base_url, timeout=30.0, backoff_seed=backoff_seed),
+            kill_after_claim=kill_after_claim,
+            kill_before_complete=kill_before_complete,
+        )
+        kwargs: Dict[str, Any] = {}
+        if execute is not None:
+            kwargs["execute"] = execute
+        self.worker = FleetWorker(
+            base_url,
+            name=name,
+            client=self.client,
+            max_cells=max_cells,
+            poll_interval=poll_interval,
+            backoff_seed=backoff_seed,
+            **kwargs,
+        )
+        self.exit_code: Optional[int] = None
+        self.killed = False
+        self._thread = threading.Thread(target=self._run, daemon=True, name=name)
+
+    def start(self) -> "ChaosWorker":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        try:
+            self.exit_code = self.worker.run()
+        except WorkerKilled:
+            self.killed = True
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.worker.request_stop()
+        self._thread.join(timeout=timeout)
+
+    def join(self, timeout: float = 30.0) -> None:
+        self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+
+class FaultPlan:
+    """Server-side deterministic fault schedule (``fault_plan=`` hook)."""
+
+    def __init__(
+        self,
+        requests: Sequence[Dict[str, Any]] = (),
+        expire_leases: Sequence[str] = (),
+    ) -> None:
+        self._rules = [dict(rule) for rule in requests]
+        self.expire_leases = set(expire_leases)
+        #: Every fault actually fired, in order — assert on this.
+        self.log: List[Tuple[Any, ...]] = []
+        self._lock = threading.Lock()
+
+    def on_request(
+        self, method: str, path: str
+    ) -> Optional[Tuple[Any, ...]]:
+        with self._lock:
+            for rule in self._rules:
+                if rule.get("method") not in (None, method):
+                    continue
+                if rule.get("path_contains", "") not in path:
+                    continue
+                if rule.get("skip", 0) > 0:
+                    rule["skip"] -= 1
+                    return None
+                if rule.get("times", 1) <= 0:
+                    continue
+                rule["times"] = rule.get("times", 1) - 1
+                action = tuple(rule["action"])
+                self.log.append((method, path) + action)
+                return action
+        return None
+
+    def expire_lease(self, lease_id: str, worker_id: str) -> bool:
+        with self._lock:
+            if lease_id in self.expire_leases:
+                self.expire_leases.discard(lease_id)
+                self.log.append(("expire", lease_id, worker_id))
+                return True
+        return False
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def sweep_digests(result_doc: Dict[str, Any]) -> Dict[Tuple[str, str, str], str]:
+    """Per-cell stats digests of a sweep result document.
+
+    Keyed ``(overrides-json, benchmark, variant)`` so multi-cell sweeps and
+    plain grids share one shape; the digest is over the canonical JSON of
+    the cell's CoreStats dict, i.e. bit-identity of every counter.
+    """
+    digests: Dict[Tuple[str, str, str], str] = {}
+    for cell in result_doc["cells"]:
+        overrides = json.dumps(cell.get("overrides", {}), sort_keys=True)
+        for bench in cell["comparison"]["benchmarks"]:
+            for variant, entry in bench["results"].items():
+                blob = json.dumps(entry["stats"], sort_keys=True).encode()
+                key = (overrides, bench["benchmark"], variant)
+                digests[key] = hashlib.sha256(blob).hexdigest()
+    return digests
+
+
+def wait_until(
+    predicate: Callable[[], bool], timeout: float = 30.0, interval: float = 0.02
+) -> bool:
+    """Poll ``predicate`` until true or ``timeout``; returns the last value."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

@@ -24,6 +24,7 @@ from repro.analysis.lint.rules.hotpath import HotPathRule
 from repro.analysis.lint.rules.privacy import PrivacyRule
 from repro.analysis.lint.rules.probe_dispatch import ProbeDispatchRule
 from repro.analysis.lint.rules.schema_drift import CacheSchemaRule
+from repro.analysis.lint.rules.swallow import SwallowRule
 from repro.analysis.lint.schema import (
     GOLDEN_RELPATH,
     current_record,
@@ -312,6 +313,75 @@ class TestProbeDispatchRule:
 
     def test_absent_probe_module_is_a_noop(self):
         assert list(ProbeDispatchRule().check_repo(_index())) == []
+
+
+# ------------------------------------------------------------------- swallow
+
+
+class TestSwallowRule:
+    def test_silent_broad_catches_flagged_in_service_package(self):
+        source = """\
+def a():
+    try:
+        work()
+    except Exception:
+        pass
+
+def b():
+    try:
+        work()
+    except:
+        ...
+
+def c():
+    try:
+        work()
+    except (OSError, BaseException):
+        pass
+"""
+        findings = run_module_rule(
+            SwallowRule(), source, "repro.service.server"
+        )
+        assert _codes(findings) == ["W701", "W701", "W701"]
+        assert {f.symbol for f in findings} == {"a", "b", "c"}
+
+    def test_handlers_that_record_or_narrow_are_clean(self):
+        source = """\
+def logged(log):
+    try:
+        work()
+    except Exception as exc:
+        log(exc)
+
+def narrow():
+    try:
+        work()
+    except OSError:
+        pass
+
+def reraised():
+    try:
+        work()
+    except BaseException:
+        raise
+"""
+        assert run_module_rule(SwallowRule(), source, "repro.service.fleet") == []
+
+    def test_other_packages_are_out_of_scope(self):
+        source = "def f():\n    try:\n        g()\n    except Exception:\n        pass\n"
+        assert run_module_rule(SwallowRule(), source, "repro.simulation.engine") == []
+
+    def test_live_service_package_has_no_silent_swallows(self):
+        root = Path(__file__).resolve().parent.parent
+        index = RepoIndex.load(root)
+        rule = SwallowRule()
+        findings = [
+            finding
+            for module in index.modules
+            if module.module.startswith("repro.service")
+            for finding in rule.check_module(module, index)
+        ]
+        assert findings == []
 
 
 # -------------------------------------------------------------- cache schema
