@@ -142,6 +142,35 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
     return overrides
 
 
+def _parse_co_runners(pairs: Sequence[str]):
+    """Parse repeated ``--co-runner WORKLOAD[:VARIANT]`` flags into a spec."""
+    from repro.simulation.multicore import CoreAssignment, MultiCoreSpec
+
+    if not pairs:
+        return None
+    cores = []
+    for pair in pairs:
+        workload, sep, variant = pair.partition(":")
+        workload = workload.strip()
+        variant = variant.strip() if sep else "ooo"
+        if not workload:
+            raise BadSpecError(
+                f"--co-runner expects WORKLOAD[:VARIANT], got {pair!r}"
+            )
+        if workload not in WORKLOAD_REGISTRY.names():
+            raise BadSpecError(
+                f"--co-runner: unknown workload {workload!r}; "
+                f"see 'python -m repro list'"
+            )
+        if variant not in VARIANT_REGISTRY.names():
+            raise BadSpecError(
+                f"--co-runner: unknown variant {variant!r}; "
+                f"see 'python -m repro list'"
+            )
+        cores.append(CoreAssignment(workload=workload, variant=variant))
+    return MultiCoreSpec(cores=cores)
+
+
 def _print_comparison(comparison, figure: str) -> None:
     if figure in ("2", "all"):
         print(format_performance_figure(comparison))
@@ -179,6 +208,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workloads = _parse_names(args.benchmarks, WORKLOAD_REGISTRY.names(), "benchmarks")
     variants = _parse_names(args.variants, VARIANT_REGISTRY.names(), "variants")
+    multicore = _parse_co_runners(args.co_runner or [])
     spec = SweepSpec(
         workloads=workloads,
         variants=variants,
@@ -186,12 +216,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_cycles=args.max_cycles,
         configs=[_parse_overrides(args.set or [])],
         probes=list(args.probe or []),
+        multicore=multicore,
     )
     engine = ExperimentEngine(workers=args.workers, cache_dir=args.cache_dir)
     print(
         f"sweeping {len(workloads)} benchmarks x {len(spec.resolved_variants())} variants "
         f"({args.uops} micro-ops each, {args.workers} worker(s)"
         + (f", cache: {args.cache_dir}" if args.cache_dir else "")
+        + (
+            f", {multicore.num_cores} cores/cell" if multicore is not None else ""
+        )
         + ") ...",
         file=sys.stderr,
     )
@@ -774,6 +808,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--probe", action="append", metavar="NAME",
         help="attach an instrumentation probe to every cell (repeatable); "
              "see 'python -m repro list'",
+    )
+    sub_sweep.add_argument(
+        "--co-runner", action="append", metavar="WORKLOAD[:VARIANT]",
+        help="add a co-runner core sharing the L3/DRAM with every cell "
+             "(repeatable); the cell's own workload/variant is core 0, e.g. "
+             "--co-runner mcf:ooo",
     )
     sub_sweep.add_argument(
         "--output", default=None,

@@ -41,6 +41,7 @@ GOLDEN_RELPATH = "tests/goldens/schema_fingerprint.json"
 SCHEMA_ROOTS: Tuple[str, ...] = (
     "repro.simulation.engine:JobSpec",
     "repro.simulation.engine:SweepSpec",
+    "repro.simulation.simulator:SimulationRequest",
     "repro.simulation.study:StudySpec",
     "repro.simulation.shard:ReplaySpec",
     "repro.uarch.config:CoreConfig",

@@ -194,6 +194,56 @@ def format_study_markdown(study: "StudyResult") -> str:
             for values in energy_columns.values()
         ]
         lines.append(_markdown_row(geo))
+
+    appendix: List[str] = []
+    for point_result in study.points:
+        for bench in point_result.comparison.benchmarks:
+            for variant, result in bench.results.items():
+                uncore = result.uncore
+                if not result.cores or uncore is None:
+                    continue
+                for core in result.cores:
+                    appendix.append(
+                        _markdown_row(
+                            [
+                                point_result.point.label or "-",
+                                bench.benchmark,
+                                variant,
+                                str(core.core_id),
+                                core.variant,
+                                core.trace_name,
+                                f"{core.ipc:.3f}",
+                                str(uncore.dram_reads[core.core_id]),
+                                str(uncore.dram_queue_delay_cycles[core.core_id]),
+                                str(uncore.bus_busy_cycles[core.core_id]),
+                            ]
+                        )
+                    )
+    if appendix:
+        core_header = [
+            "point",
+            "workload",
+            "variant",
+            "core",
+            "core variant",
+            "core workload",
+            "IPC",
+            "DRAM reads",
+            "queue-delay cyc",
+            "bus-busy cyc",
+        ]
+        lines += [
+            "",
+            "### Per-core shared-resource attribution",
+            "",
+            "One row per core of each multi-core cell: queue-delay counts the "
+            "cycles that core's DRAM requests waited on busy banks/bus, "
+            "bus-busy the cycles its transfers occupied the shared data bus.",
+            "",
+            _markdown_row(core_header),
+            _markdown_row(["---"] * len(core_header)),
+            *appendix,
+        ]
     return "\n".join(lines)
 
 

@@ -124,6 +124,12 @@ class DRAMModel:
         # to measure queue depth.
         self._read_queue: List[int] = []
         self._write_queue: List[int] = []
+        #: Breakdown of the most recent ``access``, for per-core attribution
+        #: by the uncore: cycles the request waited on a busy bank/bus, and
+        #: cycles its transfer occupied the shared data bus.  Bookkeeping
+        #: only — reading them never perturbs timing.
+        self.last_queue_delay: int = 0
+        self.last_bus_cycles: int = 0
 
     def _bank_and_row(self, addr: int) -> tuple:
         page = addr // self.config.page_bytes
@@ -160,6 +166,8 @@ class DRAMModel:
         queue_delay = start - cycle
         self._bank_free_at[bank] = start + service_cycles
         self._bus_free_at = start + bus_cycles
+        self.last_queue_delay = queue_delay
+        self.last_bus_cycles = bus_cycles
 
         latency = config.controller_latency_cycles + queue_delay + access_cycles
         completion = cycle + latency
@@ -184,3 +192,5 @@ class DRAMModel:
         self._bus_free_at = 0
         self._read_queue.clear()
         self._write_queue.clear()
+        self.last_queue_delay = 0
+        self.last_bus_cycles = 0

@@ -8,10 +8,10 @@ transactions*:
   of core cycles until the data is available;
 * every miss — demand load or store, instruction fetch, hardware prefetch,
   runahead prefetch — goes through one shared miss path
-  (:meth:`MemoryHierarchy._miss_path`) that walks L2 -> L3 -> DRAM, allocates
+  (:meth:`PrivateHierarchy._miss_path`) that walks L2 -> L3 -> DRAM, allocates
   an MSHR entry, and queues a fill transaction;
 * cache lines are installed only when their fill's latency has elapsed
-  (:meth:`MemoryHierarchy._expire_inflight` drains due transactions), so
+  (:meth:`PrivateHierarchy._expire_inflight` drains due transactions), so
   ``contains()`` and LRU state never observe the future;
 * the MSHR file is the single book of record for outstanding lines: any
   access to a line already in flight (a demand load hitting under a runahead
@@ -22,6 +22,26 @@ transactions*:
 * dirty victims propagate level by level (L1D -> L2 -> L3 -> DRAM) when fills
   evict them, and the final DRAM writeback queues on the real cycle, so
   writeback traffic occupies banks and the shared bus like any other request.
+
+Multi-core split
+----------------
+The hierarchy is composed of two halves joined by the
+:class:`~repro.memory.port.MemoryPort` seam:
+
+* :class:`PrivateHierarchy` — the per-core front half: L1I/L1D/L2, the MSHR
+  file, the fill queue and the optional prefetcher.  It stamps its
+  ``core_id`` on every shared-level request and (optionally) offsets all
+  addresses by a per-core stride so co-running cores occupy disjoint
+  address spaces.
+* :class:`SharedUncore` — the back half every core shares: the L3, the DRAM
+  model (banks, row buffers, read/write queues and the shared data bus) and
+  per-core attribution counters answering *who* is using the shared
+  resources.
+
+:class:`MemoryHierarchy` is the degenerate single-core composition — a
+private hierarchy wired to its own fresh one-core uncore — and runs the
+exact same code as an N-core private half, which is what keeps the
+single-core goldens bit-identical.
 """
 
 from __future__ import annotations
@@ -34,6 +54,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.memory.cache import CacheConfig, SetAssociativeCache
 from repro.memory.dram import DRAMConfig, DRAMModel
 from repro.memory.mshr import MSHRFile
+from repro.memory.port import InstructionPort
 from repro.memory.prefetcher import NextLinePrefetcher, StridePrefetcher
 from repro.serde import JSONSerializable
 
@@ -79,7 +100,7 @@ class AccessResult:
 
     A ``__slots__`` value class, immutable by convention: one used to be
     allocated per access, but L1 hits (~95% of accesses) now return a
-    preallocated shared instance (see :attr:`MemoryHierarchy._l1d_hit`), so
+    preallocated shared instance (see :attr:`PrivateHierarchy._l1d_hit`), so
     treat results as read-only.
 
     Attributes
@@ -187,7 +208,7 @@ class HierarchyConfig(JSONSerializable):
 
 @dataclass
 class HierarchyStats:
-    """Aggregate statistics across the hierarchy."""
+    """Aggregate statistics across one core's private hierarchy."""
 
     data_accesses: int = 0
     instruction_accesses: int = 0
@@ -202,17 +223,126 @@ class HierarchyStats:
     writebacks: int = 0
 
 
-class MemoryHierarchy:
-    """Three-level cache hierarchy with DRAM backing store and MSHR tracking."""
+class SharedUncore:
+    """The shared back half of the hierarchy: L3 + DRAM + the data bus.
 
-    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+    One instance is shared by every core of a multi-core simulation (a
+    single-core run owns a degenerate one-core instance).  Besides the L3 and
+    the DRAM model themselves, the uncore keeps *per-core attribution*: for
+    each requesting core, how many L3 hits/misses and DRAM reads/writes it
+    generated, how many cycles its requests sat in the DRAM queues, and how
+    long its transfers occupied the shared data bus.  The attribution is
+    bookkeeping only — it never feeds back into timing — so the degenerate
+    single-core uncore stays bit-identical to the pre-split hierarchy.
+    """
+
+    __slots__ = (
+        "config",
+        "l3",
+        "dram",
+        "num_cores",
+        "l3_hits",
+        "l3_misses",
+        "dram_reads",
+        "dram_writes",
+        "dram_queue_delay_cycles",
+        "bus_busy_cycles",
+    )
+
+    def __init__(
+        self, config: Optional[HierarchyConfig] = None, num_cores: int = 1
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
         self.config = config or HierarchyConfig()
-        self.l1i = SetAssociativeCache(self.config.l1i)
-        self.l1d = SetAssociativeCache(self.config.l1d)
-        self.l2 = SetAssociativeCache(self.config.l2)
         self.l3 = SetAssociativeCache(self.config.l3)
         self.dram = DRAMModel(self.config.dram)
+        self.num_cores = num_cores
+        #: Per-core counters, indexed by ``core_id``.
+        self.l3_hits = [0] * num_cores
+        self.l3_misses = [0] * num_cores
+        self.dram_reads = [0] * num_cores
+        self.dram_writes = [0] * num_cores
+        #: Cycles each core's DRAM requests spent waiting for a busy bank or
+        #: the shared bus — the contention a co-runner inflicts.
+        self.dram_queue_delay_cycles = [0] * num_cores
+        #: Cycles each core's transfers occupied the shared data bus.
+        self.bus_busy_cycles = [0] * num_cores
+
+    def read(self, addr: int, cycle: int, core_id: int) -> int:
+        """A demand/prefetch fill reaching DRAM; returns its latency."""
+        dram = self.dram
+        latency = dram.access(addr, cycle, is_write=False)
+        self.dram_reads[core_id] += 1
+        self.dram_queue_delay_cycles[core_id] += dram.last_queue_delay
+        self.bus_busy_cycles[core_id] += dram.last_bus_cycles
+        return latency
+
+    def write(self, addr: int, cycle: int, core_id: int) -> int:
+        """A posted writeback reaching DRAM; returns its (unwaited) latency."""
+        dram = self.dram
+        latency = dram.access(addr, cycle, is_write=True)
+        self.dram_writes[core_id] += 1
+        self.dram_queue_delay_cycles[core_id] += dram.last_queue_delay
+        self.bus_busy_cycles[core_id] += dram.last_bus_cycles
+        return latency
+
+
+class PrivateHierarchy:
+    """One core's private front half, backed by a (possibly shared) uncore.
+
+    Owns the L1I/L1D/L2, the MSHR file, the fill queue and the optional
+    prefetcher; the L3 and DRAM live in :attr:`uncore` and are reached
+    through it (the :attr:`l3`/:attr:`dram` properties exist for reports and
+    tests).  Implements the :class:`~repro.memory.port.MemoryPort` protocol —
+    ``access_data``/``access_instruction``/``can_accept``/
+    ``earliest_completion``/``drain`` — which is the only surface the core
+    drives.
+
+    ``addr_offset`` relocates this core's entire address space (instructions
+    and data) by a fixed stride, so heterogeneous co-runners never alias in
+    the shared L3 or DRAM banks unless the experiment wants them to; the
+    default of 0 is the bit-identical single-core path.
+    """
+
+    __slots__ = (
+        "config",
+        "uncore",
+        "core_id",
+        "l1i",
+        "l1d",
+        "l2",
+        "mshrs",
+        "stats",
+        "prefetcher",
+        "_l1d_hit",
+        "_l1i_hit",
+        "_fill_queue",
+        "_fill_seq",
+        "_addr_offset",
+        "fill_listener",
+        "writeback_listener",
+    )
+
+    def __init__(
+        self,
+        config: Optional[HierarchyConfig] = None,
+        uncore: Optional[SharedUncore] = None,
+        core_id: int = 0,
+        addr_offset: int = 0,
+    ) -> None:
+        self.config = config or HierarchyConfig()
+        self.uncore = uncore if uncore is not None else SharedUncore(self.config)
+        if not 0 <= core_id < self.uncore.num_cores:
+            raise ValueError(
+                f"core_id {core_id} out of range for a "
+                f"{self.uncore.num_cores}-core uncore"
+            )
+        self.core_id = core_id
+        self.l1i = SetAssociativeCache(self.config.l1i)
+        self.l1d = SetAssociativeCache(self.config.l1d)
         self.mshrs = MSHRFile(self.config.mshr_entries, self.config.l1d.line_bytes)
+        self.l2 = SetAssociativeCache(self.config.l2)
         self.stats = HierarchyStats()
         # Shared, immutable hit results: an L1 hit is ~95% of traffic and its
         # outcome is a constant of the configuration, so hits allocate nothing.
@@ -223,6 +353,7 @@ class MemoryHierarchy:
         # alone answers "is this line outstanding?".
         self._fill_queue: List[Tuple[int, int, _FillTransaction]] = []
         self._fill_seq = 0
+        self._addr_offset = addr_offset
         #: Optional observers called as (level_name, line_addr, cycle) when a
         #: line installs / a dirty victim moves down; the core bridges these
         #: to ``on_fill`` / ``on_writeback`` probes.
@@ -239,6 +370,20 @@ class MemoryHierarchy:
 
     # ------------------------------------------------------------------ utils
 
+    @property
+    def l3(self) -> SetAssociativeCache:
+        """The (shared) last-level cache, owned by the uncore."""
+        return self.uncore.l3
+
+    @property
+    def dram(self) -> DRAMModel:
+        """The (shared) DRAM model, owned by the uncore."""
+        return self.uncore.dram
+
+    def instruction_port(self) -> InstructionPort:
+        """The narrowed instruction-side port handed to the front end."""
+        return InstructionPort(self)
+
     def _line_addr(self, addr: int) -> int:
         return self.l1d.line_address(addr)
 
@@ -246,7 +391,7 @@ class MemoryHierarchy:
         if cache is self.l1d or cache is self.l1i:
             return self.l2
         if cache is self.l2:
-            return self.l3
+            return self.uncore.l3
         return None
 
     def _expire_inflight(self, cycle: int) -> None:
@@ -283,6 +428,19 @@ class MemoryHierarchy:
         self._expire_inflight(cycle)
         return self.mshrs.occupancy(cycle)
 
+    def can_accept(self, cycle: int) -> bool:
+        """Whether a new demand miss could take an MSHR entry at ``cycle``."""
+        self._expire_inflight(cycle)
+        return self.mshrs.occupancy(cycle) < self.config.mshr_entries
+
+    def earliest_completion(self, cycle: int) -> Optional[int]:
+        """Completion cycle of the earliest outstanding fill, or ``None``.
+
+        The port-level wake-up candidate for a core blocked on memory; this
+        is the public face of the MSHR file's book of record.
+        """
+        return self.mshrs.earliest_completion(cycle)
+
     # ----------------------------------------------------------------- access
 
     def access_data(
@@ -301,6 +459,9 @@ class MemoryHierarchy:
         behave like loads but are dropped (``retried=True``) rather than
         stalled when the MSHR file reaches the prefetch limit.
         """
+        if self._addr_offset:
+            addr += self._addr_offset
+            pc += self._addr_offset
         stats = self.stats
         stats.data_accesses += 1
         if is_prefetch:
@@ -344,6 +505,8 @@ class MemoryHierarchy:
         (observing only the remaining latency) instead of each paying a full
         DRAM access, and I-side misses take MSHR entries like D-side ones.
         """
+        if self._addr_offset:
+            pc += self._addr_offset
         self.stats.instruction_accesses += 1
         self._expire_inflight(cycle)
         if self.mshrs._inflight:
@@ -367,7 +530,9 @@ class MemoryHierarchy:
         ``allocate`` return value — is what rejects requests, enforcing the
         demand reserve for both hardware and runahead prefetches), walks the
         outer levels, and queues a fill transaction that installs the line
-        when its latency elapses.
+        when its latency elapses.  The shared levels are reached through the
+        uncore, which attributes every L3 probe and DRAM request to this
+        hierarchy's ``core_id``.
         """
         l1 = self.l1i if kind.is_ifetch else self.l1d
         limit: Optional[int] = None
@@ -385,22 +550,26 @@ class MemoryHierarchy:
                 return AccessResult(wait, MemoryLevel.L1I, retried=True)
             return AccessResult(0, MemoryLevel.L1D, retried=True)
 
+        uncore = self.uncore
+        core_id = self.core_id
         latency = l1.config.latency
         if self.l2.lookup(addr):
             latency += self.config.l2.latency
             level = MemoryLevel.L2
             targets: Tuple[SetAssociativeCache, ...] = (l1,)
             is_dram = False
-        elif self.l3.lookup(addr):
+        elif uncore.l3.lookup(addr):
+            uncore.l3_hits[core_id] += 1
             latency += self.config.l2.latency + self.config.l3.latency
             level = MemoryLevel.L3
             targets = (self.l2, l1)
             is_dram = False
         else:
-            dram_latency = self.dram.access(addr, cycle, is_write=False)
+            uncore.l3_misses[core_id] += 1
+            dram_latency = uncore.read(addr, cycle, core_id)
             latency += self.config.l2.latency + self.config.l3.latency + dram_latency
             level = MemoryLevel.DRAM
-            targets = (self.l3, self.l2, l1)
+            targets = (uncore.l3, self.l2, l1)
             is_dram = True
             if kind in (RequestKind.LOAD, RequestKind.STORE, RequestKind.RUNAHEAD_PREFETCH):
                 self.stats.long_latency_accesses += 1
@@ -471,7 +640,7 @@ class MemoryHierarchy:
             # L3 victim: a posted DRAM write.  Nobody waits on its latency,
             # but it queues at the real cycle and occupies a bank and the
             # shared bus, delaying subsequent fills.
-            self.dram.access(victim, cycle, is_write=True)
+            self.uncore.write(victim, cycle, self.core_id)
         else:
             self._install(below, victim, cycle, dirty=True)
 
@@ -493,7 +662,24 @@ class MemoryHierarchy:
         Warming bypasses fill timing — it models state left behind before the
         measured window — but victims still cascade properly.
         """
+        offset = self._addr_offset
         for addr in addresses:
-            self._install(self.l3, addr, 0)
+            if offset:
+                addr += offset
+            self._install(self.uncore.l3, addr, 0)
             self._install(self.l2, addr, 0)
             self._install(self.l1d, addr, 0, dirty=dirty)
+
+
+class MemoryHierarchy(PrivateHierarchy):
+    """Single-core composition: a private hierarchy with its own 1-core uncore.
+
+    This is the pre-split public entry point and runs exactly the code an
+    N-core :class:`PrivateHierarchy` runs — the degenerate uncore is what
+    keeps the committed single-core goldens bit-identical.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        super().__init__(config=config)

@@ -1,12 +1,22 @@
 """Simulation drivers: single runs, variant comparisons, sweeps, and metrics."""
 
 from repro.simulation.simulator import (
+    CoreResult,
     SimPointIntervalResult,
     SimPointRunResult,
+    SimulationRequest,
     SimulationResult,
     Simulator,
+    UncoreReport,
     run_simpoints,
+    run_simulation,
     run_variant,
+)
+from repro.simulation.multicore import (
+    CoreAssignment,
+    MultiCoreSimulator,
+    MultiCoreSpec,
+    run_multicore,
 )
 from repro.simulation.experiment import (
     BenchmarkResult,
@@ -32,11 +42,19 @@ from repro.simulation.metrics import (
 )
 
 __all__ = [
+    "CoreAssignment",
+    "CoreResult",
+    "MultiCoreSimulator",
+    "MultiCoreSpec",
     "SimPointIntervalResult",
     "SimPointRunResult",
+    "SimulationRequest",
     "SimulationResult",
     "Simulator",
+    "UncoreReport",
+    "run_multicore",
     "run_simpoints",
+    "run_simulation",
     "run_variant",
     "BenchmarkResult",
     "ComparisonResult",

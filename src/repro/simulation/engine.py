@@ -43,7 +43,12 @@ from repro.memory.hierarchy import HierarchyConfig
 from repro.registry import PROBE_REGISTRY, VARIANT_REGISTRY, WORKLOAD_REGISTRY, build_workload
 from repro.serde import JSONSerializable, canonical_json
 from repro.simulation.experiment import BenchmarkResult, ComparisonResult
-from repro.simulation.simulator import SimulationResult, run_variant
+from repro.simulation.multicore import MultiCoreSpec, run_multicore
+from repro.simulation.simulator import (
+    SimulationRequest,
+    SimulationResult,
+    run_simulation,
+)
 from repro.uarch.config import CoreConfig
 from repro.workloads.source import (
     FileTraceSource,
@@ -54,8 +59,9 @@ from repro.workloads.source import (
 from repro.workloads.trace import Trace
 
 #: Bump when the simulator or result schema changes incompatibly; invalidates
-#: every cached result.  v4: window/warmup fields joined the job descriptor.
-CACHE_SCHEMA_VERSION = 4
+#: every cached result.  v5: multi-core co-runner specs joined the job
+#: descriptor and results grew per-core/uncore sections.
+CACHE_SCHEMA_VERSION = 5
 
 
 # --------------------------------------------------------------------- sweeps
@@ -80,6 +86,9 @@ class SweepSpec(JSONSerializable):
     #: reports land in each result's ``probe_reports``.  A list (not a tuple)
     #: so JSON round-trips compare equal.
     probes: Sequence[str] = field(default_factory=list)
+    #: Co-runner cores sharing the uncore with every cell's own (workload,
+    #: variant) pair; ``None`` keeps the classic single-core path.
+    multicore: Optional[MultiCoreSpec] = None
 
     def resolved_probes(self) -> List[str]:
         """The probe list, validated against the registry."""
@@ -213,6 +222,11 @@ class JobSpec(JSONSerializable):
     trace_file: Optional[str] = None
     window: Optional[Tuple[int, int]] = None
     warmup_uops: int = 0
+    #: Co-runner cores sharing the uncore with this job's own (workload,
+    #: variant) pair as core 0.  Requires a ``workload`` source (co-runner
+    #: traces are rebuilt by name in each worker) and is incompatible with
+    #: ``window``/``warmup_uops``.
+    multicore: Optional[MultiCoreSpec] = None
 
 
 # ----------------------------------------------------------------- job model
@@ -250,6 +264,7 @@ def _job_payload(
     probes: Sequence[str] = (),
     window: Optional[Tuple[int, int]] = None,
     warmup_uops: int = 0,
+    multicore: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     if window is not None:
         start, end = window
@@ -262,6 +277,8 @@ def _job_payload(
             )
     elif warmup_uops:
         raise ValueError("warmup_uops requires a window")
+    if multicore is not None and (window is not None or warmup_uops):
+        raise ValueError("multicore jobs do not support window/warmup replay")
     return {
         "benchmark": benchmark,
         "variant": variant,
@@ -273,6 +290,7 @@ def _job_payload(
         "probes": list(probes),
         "window": list(window) if window is not None else None,
         "warmup_uops": warmup_uops,
+        "multicore": multicore,
     }
 
 
@@ -302,6 +320,10 @@ def _job_cache_key(payload: Dict[str, Any]) -> str:
         "probes": payload.get("probes", []),
         "window": payload.get("window"),
         "warmup_uops": payload.get("warmup_uops", 0),
+        # Co-runner spec *and* co-runner workload tokens: editing a
+        # neighbour's generator invalidates the cell just like editing the
+        # primary workload does.
+        "multicore": payload.get("multicore"),
     }
     return hashlib.sha256(canonical_json(descriptor).encode()).hexdigest()
 
@@ -330,6 +352,27 @@ def _workload_token(entry: Any) -> Any:
     }
 
 
+def _multicore_payload(spec: MultiCoreSpec) -> Dict[str, Any]:
+    """Validate a co-runner spec and build its cache-keyable payload entry.
+
+    Co-runner workloads/variants are validated against the registries up
+    front (before any worker spawns), and each co-runner workload contributes
+    its :func:`_workload_token` so editing a neighbour's trace generator
+    invalidates the cached cell.
+    """
+    tokens = []
+    for assignment in spec.cores:
+        if not assignment.workload:
+            raise ValueError("multicore co-runner needs a workload name")
+        VARIANT_REGISTRY.get(assignment.variant)
+        if assignment.num_uops is not None and assignment.num_uops <= 0:
+            raise ValueError(
+                f"co-runner num_uops must be positive, got {assignment.num_uops}"
+            )
+        tokens.append(_workload_token(WORKLOAD_REGISTRY.get(assignment.workload)))
+    return {"spec": spec.to_dict(), "tokens": tokens}
+
+
 def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one (benchmark, variant, config) cell; returns a JSON-able result.
 
@@ -350,25 +393,49 @@ def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     hierarchy_config = (
         HierarchyConfig.from_dict(payload["hierarchy"]) if payload["hierarchy"] else None
     )
+    multicore = payload.get("multicore")
+    if multicore is not None:
+        spec = MultiCoreSpec.from_dict(multicore["spec"])
+        primary_uops = source.get("num_uops")
+        pairs = [(trace, payload["variant"])]
+        for assignment in spec.cores:
+            num_uops = (
+                assignment.num_uops
+                if assignment.num_uops is not None
+                else primary_uops
+            )
+            pairs.append(
+                (build_workload(assignment.workload, num_uops=num_uops),
+                 assignment.variant)
+            )
+        result = run_multicore(
+            pairs,
+            config=config,
+            hierarchy_config=hierarchy_config,
+            max_cycles=payload["max_cycles"],
+            probes=payload.get("probes") or (),
+            address_stride=spec.address_stride,
+        )
+        return result.to_dict()
     window = payload.get("window")
     warmup_uops = 0
     if window is not None:
         # The window is the *measured* [start, end); the warmup prefix is
         # simulated before it (warm caches/predictors/queues) but excluded
-        # from the returned stats by run_variant's stats_start seam.
+        # from the returned stats by run_simulation's stats_start seam.
         warmup_uops = payload.get("warmup_uops") or 0
         start, end = window
         base = as_source(trace)
         trace = base.window(start - warmup_uops, end, name=base.name)
-    result = run_variant(
-        trace,
+    request = SimulationRequest(
         variant=payload["variant"],
         config=config,
         hierarchy_config=hierarchy_config,
         max_cycles=payload["max_cycles"],
-        probes=payload.get("probes") or (),
+        probes=list(payload.get("probes") or ()),
         warmup_uops=warmup_uops,
     )
+    result = run_simulation(trace, request)
     return result.to_dict()
 
 
@@ -617,6 +684,9 @@ class ExperimentEngine:
         workloads = spec.resolved_workloads()
         probes = spec.resolved_probes()
         override_sets = [dict(overrides) for overrides in spec.configs] or [{}]
+        multicore = (
+            _multicore_payload(spec.multicore) if spec.multicore is not None else None
+        )
 
         payloads: List[Dict[str, Any]] = []
         for overrides in override_sets:
@@ -640,6 +710,7 @@ class ExperimentEngine:
                             hierarchy_config=self.hierarchy_config,
                             max_cycles=spec.max_cycles,
                             probes=probes,
+                            multicore=multicore,
                         )
                     )
         return payloads
@@ -790,6 +861,11 @@ class ExperimentEngine:
                 raise ValueError(
                     "JobSpec needs exactly one of workload= or trace_file="
                 )
+            if job.multicore is not None and job.trace_file is not None:
+                raise ValueError(
+                    "multicore jobs need a workload= source (co-runner traces "
+                    "are rebuilt by registry name in each worker)"
+                )
             if job.trace_file is not None:
                 benchmark, source = self._file_source(job.trace_file, file_digests)
             else:
@@ -817,6 +893,11 @@ class ExperimentEngine:
                     probes=job.probes,
                     window=job.window,
                     warmup_uops=job.warmup_uops,
+                    multicore=(
+                        _multicore_payload(job.multicore)
+                        if job.multicore is not None
+                        else None
+                    ),
                 )
             )
         return payloads

@@ -48,6 +48,69 @@ ProbeLike = Union[str, Probe]
 
 
 @dataclass
+class SimulationRequest(JSONSerializable):
+    """Everything that defines one simulation run, as one serialisable value.
+
+    This is the request side of :func:`run_simulation`: a single dataclass
+    that round-trips through serde, so experiment infrastructure (engine
+    jobs, shards, SimPoint windows) can build, hash and ship run parameters
+    without keyword-argument drift.  ``probes`` holds registry *names* only —
+    fresh instances are built per run, which keeps requests serialisable and
+    probe state per-run; ready-made :class:`~repro.uarch.probes.Probe`
+    instances go through ``run_simulation``'s ``extra_probes`` argument
+    instead.
+    """
+
+    variant: str = "pre"
+    config: Optional[CoreConfig] = None
+    hierarchy_config: Optional[HierarchyConfig] = None
+    max_cycles: Optional[int] = None
+    #: Probe registry names (instances are deliberately not representable).
+    probes: List[str] = field(default_factory=list)
+    #: Committed micro-ops excluded from the returned statistics (state kept).
+    warmup_uops: int = 0
+
+
+@dataclass
+class CoreResult(JSONSerializable):
+    """One core's slice of a multi-core simulation."""
+
+    core_id: int = 0
+    variant: str = "ooo"
+    trace_name: str = ""
+    stats: CoreStats = field(default_factory=CoreStats)
+
+    @property
+    def ipc(self) -> float:
+        """Committed micro-ops per cycle on this core."""
+        return self.stats.ipc
+
+
+@dataclass
+class UncoreReport(JSONSerializable):
+    """Shared L3/DRAM/bus usage of a multi-core run, attributed per core.
+
+    Each list has one entry per core (index = ``core_id``); the counters are
+    copied off the :class:`~repro.memory.hierarchy.SharedUncore` at the end of
+    the run.  Queue-delay and bus-busy cycles attribute *contention*: how long
+    each core's DRAM requests waited on busy banks/bus, and how long its
+    transfers occupied the shared data bus.
+    """
+
+    l3_hits: List[int] = field(default_factory=list)
+    l3_misses: List[int] = field(default_factory=list)
+    dram_reads: List[int] = field(default_factory=list)
+    dram_writes: List[int] = field(default_factory=list)
+    dram_queue_delay_cycles: List[int] = field(default_factory=list)
+    bus_busy_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores sharing the uncore."""
+        return len(self.l3_hits)
+
+
+@dataclass
 class SimulationResult(JSONSerializable):
     """Everything measured from one (trace, variant) simulation."""
 
@@ -58,6 +121,11 @@ class SimulationResult(JSONSerializable):
     config: CoreConfig
     #: Findings of explicitly attached probes, keyed by probe name.
     probe_reports: Dict[str, Any] = field(default_factory=dict)
+    #: Per-core results of a multi-core run (empty for single-core runs).
+    #: Core 0 is the focus core; its stats also fill the top-level fields.
+    cores: List[CoreResult] = field(default_factory=list)
+    #: Shared-resource usage attributed per core (multi-core runs only).
+    uncore: Optional[UncoreReport] = None
 
     @property
     def label(self) -> str:
@@ -107,6 +175,68 @@ def resolve_probes(probes: Optional[Sequence[ProbeLike]]) -> List[Probe]:
     return [build_probe(probe) for probe in (probes or ())]
 
 
+def run_simulation(
+    trace: TraceLike,
+    request: Optional[SimulationRequest] = None,
+    *,
+    energy_model: Optional[EnergyModel] = None,
+    extra_probes: Sequence[ProbeLike] = (),
+) -> SimulationResult:
+    """Simulate a trace or source as described by a :class:`SimulationRequest`.
+
+    ``warmup_uops`` (on the request) excludes the first that-many committed
+    micro-ops from the returned statistics (microarchitectural state is kept —
+    that is the point): shard runs use it so stats describe only the measured
+    window while caches, predictors and queues enter it warm.  ``0`` (the
+    default) is the exact, bit-identical whole-run path.
+
+    ``energy_model`` and ``extra_probes`` sit outside the request because they
+    carry live objects that cannot (and should not) serialise: a custom model
+    and ready-made probe instances are an in-process affair.
+    """
+    request = request or SimulationRequest()
+    if request.variant not in VARIANT_REGISTRY:
+        raise ValueError(
+            f"unknown variant {request.variant!r}; expected one of "
+            f"{', '.join(VARIANT_REGISTRY.names())}"
+        )
+    if request.warmup_uops < 0:
+        raise ValueError(f"warmup_uops must be >= 0, got {request.warmup_uops}")
+    source = as_source(trace)
+    config = request.config or CoreConfig()
+    hierarchy = MemoryHierarchy(request.hierarchy_config)
+    controller = build_controller(request.variant)
+    attached = resolve_probes(request.probes) + resolve_probes(extra_probes)
+    core = OoOCore(
+        source,
+        config=config,
+        hierarchy=hierarchy,
+        controller=controller,
+        probes=default_probes() + attached,
+    )
+    stats = core.run(
+        max_cycles=request.max_cycles,
+        stats_start_uop=request.warmup_uops or None,
+    )
+    model = energy_model or EnergyModel()
+    report = model.evaluate(
+        variant=request.variant,
+        stats=stats,
+        hierarchy=hierarchy,
+        config=config,
+        extra_sram=_runahead_sram_models(core),
+    )
+    return SimulationResult(
+        variant=request.variant,
+        trace_name=source.name,
+        stats=stats,
+        energy=report,
+        config=config,
+        # Default probes report None, so this is exactly the extras' findings.
+        probe_reports=core.probes.reports(),
+    )
+
+
 def run_variant(
     trace: TraceLike,
     variant: str = "pre",
@@ -119,48 +249,25 @@ def run_variant(
 ) -> SimulationResult:
     """Simulate a trace or source on one runahead variant and return its results.
 
-    ``warmup_uops`` excludes the first that-many committed micro-ops from the
-    returned statistics (microarchitectural state is kept — that is the
-    point): shard runs use it so stats describe only the measured window
-    while caches, predictors and queues enter it warm.  ``0`` (the default)
-    is the exact, bit-identical whole-run path.
+    Deprecated keyword-argument spelling of :func:`run_simulation`: the run
+    parameters now live in a :class:`SimulationRequest`, and this shim simply
+    builds one.  Kept (indefinitely) because half the test suite and every
+    notebook calls it; new call sites should construct a request.
     """
-    if variant not in VARIANT_REGISTRY:
-        raise ValueError(
-            f"unknown variant {variant!r}; expected one of "
-            f"{', '.join(VARIANT_REGISTRY.names())}"
-        )
-    if warmup_uops < 0:
-        raise ValueError(f"warmup_uops must be >= 0, got {warmup_uops}")
-    source = as_source(trace)
-    config = config or CoreConfig()
-    hierarchy = MemoryHierarchy(hierarchy_config)
-    controller = build_controller(variant)
-    extra_probes = resolve_probes(probes)
-    core = OoOCore(
-        source,
-        config=config,
-        hierarchy=hierarchy,
-        controller=controller,
-        probes=default_probes() + extra_probes,
-    )
-    stats = core.run(max_cycles=max_cycles, stats_start_uop=warmup_uops or None)
-    model = energy_model or EnergyModel()
-    report = model.evaluate(
+    request = SimulationRequest(
         variant=variant,
-        stats=stats,
-        hierarchy=hierarchy,
         config=config,
-        extra_sram=_runahead_sram_models(core),
+        hierarchy_config=hierarchy_config,
+        max_cycles=max_cycles,
+        warmup_uops=warmup_uops,
     )
-    return SimulationResult(
-        variant=variant,
-        trace_name=source.name,
-        stats=stats,
-        energy=report,
-        config=config,
-        # Default probes report None, so this is exactly the extras' findings.
-        probe_reports=core.probes.reports(),
+    # All probes ride through ``extra_probes`` (names resolve identically
+    # there, and mixed name/instance lists keep their relative order).
+    return run_simulation(
+        trace,
+        request,
+        energy_model=energy_model,
+        extra_probes=list(probes or ()),
     )
 
 
@@ -334,15 +441,18 @@ def run_simpoints(
     )
     intervals, total_uops = sampler.select_source(source)
     if energy_model is not None and engine is None:
+        request = SimulationRequest(
+            variant=variant,
+            config=config,
+            hierarchy_config=hierarchy_config,
+            max_cycles=max_cycles,
+            probes=list(probes or ()),
+        )
         results = [
-            run_variant(
+            run_simulation(
                 source.window(interval.start, interval.end, name=source.name),
-                variant=variant,
-                config=config,
-                hierarchy_config=hierarchy_config,
+                request,
                 energy_model=energy_model,
-                max_cycles=max_cycles,
-                probes=probes,
             )
             for interval in intervals
         ]

@@ -48,6 +48,7 @@ from repro.simulation.engine import (
     resolve_variants,
     resolve_workloads,
 )
+from repro.simulation.multicore import CoreAssignment, MultiCoreSpec
 from repro.simulation.experiment import ComparisonResult
 from repro.uarch.config import CoreConfig
 
@@ -72,6 +73,9 @@ class AxisPoint(JSONSerializable):
     #: :class:`~repro.memory.hierarchy.HierarchyConfig` overrides, keyed by
     #: dotted field path (e.g. ``"dram.controller_latency_cycles"``).
     hierarchy: Dict[str, Any] = field(default_factory=dict)
+    #: Multi-core co-runner overrides (see :func:`build_multicore_spec`):
+    #: ``co_runners``, ``co_workload``, ``co_variant``, ``address_stride``.
+    multicore: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -108,6 +112,7 @@ class StudyPoint(JSONSerializable):
     coordinates: Dict[str, str]
     core_overrides: Dict[str, Any] = field(default_factory=dict)
     hierarchy_overrides: Dict[str, Any] = field(default_factory=dict)
+    multicore_overrides: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -183,8 +188,10 @@ class StudySpec(JSONSerializable):
         for combo in itertools.product(*(axis.points for axis in self.axes)):
             core: Dict[str, Any] = dict(self.base_core)
             hierarchy: Dict[str, Any] = dict(self.base_hierarchy)
+            multicore: Dict[str, Any] = {}
             seen_core: Dict[str, str] = {}
             seen_hier: Dict[str, str] = {}
+            seen_multicore: Dict[str, str] = {}
             for axis, point in zip(self.axes, combo):
                 for key, value in point.core.items():
                     if key in seen_core:
@@ -202,6 +209,17 @@ class StudySpec(JSONSerializable):
                         )
                     seen_hier[key] = axis.name
                     hierarchy[key] = value
+                for key, value in point.multicore.items():
+                    if key in seen_multicore:
+                        raise ValueError(
+                            f"study {self.name!r}: axes {seen_multicore[key]!r} and "
+                            f"{axis.name!r} both override multicore key {key!r}"
+                        )
+                    seen_multicore[key] = axis.name
+                    multicore[key] = value
+            # Validate merged co-runner keys eagerly: a typo must be a clean
+            # spec error at expansion, not a worker-side failure.
+            build_multicore_spec(multicore)
             points.append(
                 StudyPoint(
                     coordinates={
@@ -209,6 +227,7 @@ class StudySpec(JSONSerializable):
                     },
                     core_overrides=core,
                     hierarchy_overrides=hierarchy,
+                    multicore_overrides=multicore,
                 )
             )
         return points
@@ -250,6 +269,54 @@ def apply_hierarchy_overrides(
             )
         cursor[leaf] = value
     return HierarchyConfig.from_dict(data)
+
+
+#: Recognised keys of an :class:`AxisPoint`'s ``multicore`` override dict.
+_MULTICORE_KEYS = ("co_runners", "co_workload", "co_variant", "address_stride")
+
+
+def build_multicore_spec(overrides: Dict[str, Any]) -> Optional[MultiCoreSpec]:
+    """Turn a study point's multicore override dict into a co-runner spec.
+
+    Recognised keys:
+
+    * ``co_workload`` — registry name of the neighbour workload;
+    * ``co_variant`` — the neighbours' core variant (default ``"ooo"``);
+    * ``co_runners`` — how many identical neighbours (default ``1`` when a
+      ``co_workload`` is given; ``0`` means *no* neighbours but still runs
+      through the multi-core path, the natural no-contention baseline inside
+      a contention study);
+    * ``address_stride`` — per-core address-space spacing.
+
+    An empty dict returns ``None``: the classic single-core path.
+    """
+    if not overrides:
+        return None
+    unknown = sorted(set(overrides) - set(_MULTICORE_KEYS))
+    if unknown:
+        raise KeyError(
+            f"unknown multicore override key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(_MULTICORE_KEYS)}"
+        )
+    co_workload = overrides.get("co_workload", "")
+    co_runners = overrides.get(
+        "co_runners", 1 if co_workload else 0
+    )
+    if co_runners < 0:
+        raise ValueError(f"co_runners must be >= 0, got {co_runners}")
+    if co_runners and not co_workload:
+        raise ValueError("co_runners > 0 needs a co_workload")
+    if not co_runners and "co_variant" in overrides:
+        raise ValueError("co_variant without any co-runner core")
+    cores = [
+        CoreAssignment(
+            workload=co_workload, variant=overrides.get("co_variant", "ooo")
+        )
+        for _ in range(co_runners)
+    ]
+    if "address_stride" in overrides:
+        return MultiCoreSpec(cores=cores, address_stride=overrides["address_stride"])
+    return MultiCoreSpec(cores=cores)
 
 
 # --------------------------------------------------------------- result model
@@ -318,6 +385,7 @@ def study_jobs(spec: StudySpec, engine: ExperimentEngine) -> List[JobSpec]:
         hierarchy = apply_hierarchy_overrides(
             engine.hierarchy_config, point.hierarchy_overrides
         )
+        multicore = build_multicore_spec(point.multicore_overrides)
         for workload in workloads:
             for variant in variants:
                 jobs.append(
@@ -329,6 +397,7 @@ def study_jobs(spec: StudySpec, engine: ExperimentEngine) -> List[JobSpec]:
                         hierarchy_config=hierarchy,
                         max_cycles=spec.max_cycles,
                         probes=list(spec.probes),
+                        multicore=multicore,
                     )
                 )
     return jobs
@@ -495,6 +564,45 @@ def _mshr_prefetch_study() -> StudySpec:
 
 
 @register_study(
+    "multicore-contention",
+    description="PRE vs shared-L3/DRAM contention from an mcf neighbour core",
+)
+def _multicore_contention_study() -> StudySpec:
+    # The paper evaluates single-core PRE; the natural multi-core question is
+    # whether its prefetch-like runahead traffic hurts a neighbour (and how
+    # much a neighbour's traffic hurts it).  bwaves is the streaming,
+    # bandwidth-hungry victim; mcf the pointer-chasing, DRAM-bound neighbour.
+    # The "none" point runs the degenerate one-core multi-core path, so all
+    # three points are directly comparable by construction.
+    return StudySpec(
+        name="multicore-contention",
+        description=(
+            "Per-core IPC and shared-bus/DRAM-queue attribution for a bwaves "
+            "focus core running alone, next to an OoO neighbour, and next to "
+            "a PRE neighbour (both running mcf)."
+        ),
+        workloads=["bwaves"],
+        variants=["pre"],
+        axes=[
+            StudyAxis(
+                name="neighbor",
+                points=[
+                    AxisPoint(label="none", multicore={"co_runners": 0}),
+                    AxisPoint(
+                        label="ooo",
+                        multicore={"co_workload": "mcf", "co_variant": "ooo"},
+                    ),
+                    AxisPoint(
+                        label="pre",
+                        multicore={"co_workload": "mcf", "co_variant": "pre"},
+                    ),
+                ],
+            )
+        ],
+    )
+
+
+@register_study(
     "dram-latency",
     description="Runahead benefit vs DRAM controller latency (20..160 cycles)",
 )
@@ -528,6 +636,7 @@ __all__ = [
     "StudyResult",
     "StudySpec",
     "apply_hierarchy_overrides",
+    "build_multicore_spec",
     "build_study",
     "register_study",
     "run_study",

@@ -179,6 +179,10 @@ class OoOCore:
             source.trace if isinstance(source, MaterializedTrace) else None
         )
         self.hierarchy = hierarchy or MemoryHierarchy()
+        #: This core's identity on the shared uncore, mirrored from its
+        #: memory port; probes receive the core object and can read it to
+        #: attribute fills/writebacks/memory accesses in multi-core runs.
+        self.core_id = self.hierarchy.core_id
         self.name = name or ("ooo" if controller is None else controller.name)
         self.stats = CoreStats()
         self.probes = ProbeSet(default_probes() if probes is None else probes)
@@ -186,7 +190,13 @@ class OoOCore:
         self.predictor = GShareBranchPredictor(
             self.config.branch_predictor_entries, self.config.branch_history_bits
         )
-        self.frontend = FrontEnd(source, self.config, self.predictor, self.hierarchy, self.stats)
+        self.frontend = FrontEnd(
+            source,
+            self.config,
+            self.predictor,
+            self.hierarchy.instruction_port(),
+            self.stats,
+        )
         self.rat = RegisterAliasTable()
         self.retirement_rat = RetirementRAT()
         self.int_rf = PhysicalRegisterFile(self.config.int_registers, name="int")
@@ -210,6 +220,10 @@ class OoOCore:
         #: Cycle at which statistics collection began (nonzero only when a
         #: warmup prefix was excluded via ``run(stats_start_uop=...)``).
         self._stats_cycle_base = 0
+        # Stepping bookkeeping shared between run() and external lockstep
+        # drivers (see begin_run/step_cycle).
+        self._warmup_target = 0
+        self._last_committed = 0
 
         self.controller = controller
         if controller is not None:
@@ -267,55 +281,105 @@ class OoOCore:
         prefix (which only exists to warm caches, predictors and queues)
         never leaks into the returned stats.  Microarchitectural state is
         *not* reset — that is the entire point of the warmup.
+
+        The loop body is exactly the public stepping API an external
+        lockstep driver uses (:meth:`begin_run`, :meth:`step_cycle`,
+        :meth:`next_wake_cycle`, :meth:`skip_to`, :meth:`finish_run`) — a
+        single-core run and a core inside a
+        :class:`~repro.simulation.multicore.MultiCoreSimulator` execute the
+        same sequence of operations.
         """
+        self.begin_run(stats_start_uop)
         cursor = self.frontend.cursor
-        probes_skipped = self.probes.cycles_skipped
-        stats = self.stats
-        step = self.step
-        last_committed = self.committed_trace_uops
-        warmup_target = stats_start_uop or 0
+        step_cycle = self.step_cycle
         while True:
             total = cursor.known_length
-            committed = self.committed_trace_uops
-            if total is not None and committed >= total:
+            if total is not None and self.committed_trace_uops >= total:
                 break
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
-            progress = step()
-            committed = self.committed_trace_uops
-            if committed != last_committed:
-                # Only a cycle that actually retired micro-ops can advance the
-                # cursor's trim floor; skip the call on all other iterations.
-                cursor.trim(committed)
-                last_committed = committed
-                if warmup_target and committed >= warmup_target:
-                    # Commit can overshoot the boundary by up to the pipeline
-                    # width inside one step; those commits are measured.
-                    self._begin_measurement(committed - warmup_target)
-                    warmup_target = 0
-            if progress:
+            if step_cycle():
                 self.cycle += 1
                 continue
             if self.finished:
                 # A streaming source's length is only learned when the fetch
                 # stage exhausts it, possibly inside this very step.
                 break
-            wake = self._next_wake_cycle()
+            wake = self.next_wake_cycle()
             if wake is None:
-                raise SimulationDeadlock(self._deadlock_report())
+                raise SimulationDeadlock(self.deadlock_report())
             if max_cycles is not None:
                 wake = min(wake, max_cycles)
-            skipped = max(wake, self.cycle + 1) - self.cycle
-            if self._in_full_window_stall():
-                stats.full_window_stall_cycles += skipped - 1
-            if self.mode == ExecutionMode.RUNAHEAD:
-                stats.runahead_cycles += skipped - 1
-            if probes_skipped and skipped > 1:
-                # The no-progress cycle itself already fired on_cycle inside
-                # step(); the span covers only the fast-forwarded remainder.
-                for probe in probes_skipped:
-                    probe.on_cycles_skipped(self, self.cycle + 1, self.cycle + skipped)
-            self.cycle += skipped
+            self.skip_to(wake)
+        return self.finish_run()
+
+    # ---------------------------------------------------- external stepping
+
+    def begin_run(self, stats_start_uop: Optional[int] = None) -> None:
+        """Arm the stepping bookkeeping before the first :meth:`step_cycle`.
+
+        External drivers call this once per core before entering their
+        lockstep loop; :meth:`run` calls it internally.
+        """
+        self._warmup_target = stats_start_uop or 0
+        self._last_committed = self.committed_trace_uops
+
+    def step_cycle(self) -> bool:
+        """One cycle of work at ``self.cycle``, without advancing the clock.
+
+        Runs :meth:`step` plus the commit bookkeeping (cursor trimming, the
+        warmup/measurement boundary); the caller decides how the clock moves
+        afterwards — ``+1`` on progress, :meth:`skip_to` on a computed wake
+        cycle.  Returns whether any pipeline stage made progress.
+        """
+        progress = self.step()
+        committed = self.committed_trace_uops
+        if committed != self._last_committed:
+            # Only a cycle that actually retired micro-ops can advance the
+            # cursor's trim floor; skip the call on all other iterations.
+            self.frontend.cursor.trim(committed)
+            self._last_committed = committed
+            if self._warmup_target and committed >= self._warmup_target:
+                # Commit can overshoot the boundary by up to the pipeline
+                # width inside one step; those commits are measured.
+                self._begin_measurement(committed - self._warmup_target)
+                self._warmup_target = 0
+        return progress
+
+    def next_wake_cycle(self) -> Optional[int]:
+        """The earliest cycle at which stepping again could make progress.
+
+        ``None`` means no scheduled event exists and the core is deadlocked
+        (an external driver with other still-running cores may keep stepping
+        them; it must raise once *every* core is stuck).
+        """
+        return self._next_wake_cycle()
+
+    def skip_to(self, wake: int) -> None:
+        """Fast-forward the clock to ``wake`` (at least one cycle) while idle.
+
+        Charges the skipped span to the stall/runahead cycle counters —
+        ``skipped - 1`` because the no-progress cycle itself already counted
+        inside :meth:`step` — and fires ``on_cycles_skipped`` probes over the
+        fast-forwarded remainder.  Must only be called after a no-progress
+        :meth:`step_cycle`, mirroring the idle-skip in :meth:`run`.
+        """
+        stats = self.stats
+        skipped = max(wake, self.cycle + 1) - self.cycle
+        if self._in_full_window_stall():
+            stats.full_window_stall_cycles += skipped - 1
+        if self.mode == ExecutionMode.RUNAHEAD:
+            stats.runahead_cycles += skipped - 1
+        probes_skipped = self.probes.cycles_skipped
+        if probes_skipped and skipped > 1:
+            # The no-progress cycle itself already fired on_cycle inside
+            # step(); the span covers only the fast-forwarded remainder.
+            for probe in probes_skipped:
+                probe.on_cycles_skipped(self, self.cycle + 1, self.cycle + skipped)
+        self.cycle += skipped
+
+    def finish_run(self) -> CoreStats:
+        """Close out the run: final cycle count, hierarchy drain, probe finish."""
         self.stats.cycles = self.cycle - self._stats_cycle_base
         # Settle fills whose latency elapsed but that no later access drained,
         # so end-of-run cache/DRAM/writeback statistics cover the whole window
@@ -850,14 +914,17 @@ class OoOCore:
             # A committed store is waiting for an MSHR entry to free; the
             # fills holding them are not all core-scheduled events (hardware
             # prefetches, instruction fetches), so wake when one completes.
-            free_at = self.hierarchy.mshrs.earliest_completion(cycle)
+            # Asked at the port level: the MSHR file is the hierarchy's own
+            # book of record, not the core's to read.
+            free_at = self.hierarchy.earliest_completion(cycle)
             if free_at is None or free_at <= cycle:
                 free_at = cycle + 1
             if best is None or free_at < best:
                 best = free_at
         return best
 
-    def _deadlock_report(self) -> str:
+    def deadlock_report(self) -> str:
+        """Human-readable snapshot of why the core can make no progress."""
         head = self.rob.head()
         total = self.frontend.cursor.known_length
         return (

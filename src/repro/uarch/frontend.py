@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, Union
 
-from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.port import InstructionPort
 from repro.uarch.branch import GShareBranchPredictor
 from repro.uarch.config import CoreConfig
 from repro.uarch.stats import CoreStats
@@ -64,14 +64,17 @@ class FrontEnd:
         trace: Union[Trace, TraceSource],
         config: CoreConfig,
         predictor: GShareBranchPredictor,
-        hierarchy: Optional[MemoryHierarchy] = None,
+        port: Optional[InstructionPort] = None,
         stats: Optional[CoreStats] = None,
     ) -> None:
         self.source = as_source(trace)
         self.cursor = self.source.cursor()
         self.config = config
         self.predictor = predictor
-        self.hierarchy = hierarchy
+        #: Instruction-side memory port — the *only* piece of the memory
+        #: system the front end sees (fetch-line geometry plus
+        #: ``access_instruction``).  ``None`` models an ideal I-cache.
+        self.port = port
         self.stats = stats or CoreStats()
         self.fetch_index = 0
         self.power_gated = False
@@ -170,10 +173,8 @@ class FrontEnd:
         total_budget = pipe_capacity + config.uop_queue_size
         ready_base = cycle + config.frontend_depth
         fetch_index = self.fetch_index
-        hierarchy = self.hierarchy
-        i_line_bytes = (
-            hierarchy.config.l1i.line_bytes if hierarchy is not None else None
-        )
+        port = self.port
+        i_line_bytes = port.line_bytes if port is not None else None
         fetched = 0
         while (
             fetched < fetch_width
@@ -222,18 +223,19 @@ class FrontEnd:
         caller must stall fetch — ``_resume_cycle`` is advanced past the
         estimated wait — and retry the micro-op afterwards.
         """
-        if self.hierarchy is None:
+        port = self.port
+        if port is None:
             return 0
-        line = pc // self.hierarchy.config.l1i.line_bytes
+        line = pc // port.line_bytes
         if line == self._last_fetch_line:
             return 0
         self._last_fetch_line = line
-        result = self.hierarchy.access_instruction(pc, cycle)
+        result = port.access_instruction(pc, cycle)
         if result.retried:
             self._last_fetch_line = None
             self._resume_cycle = max(self._resume_cycle, cycle + max(1, result.latency))
             return None
-        return max(0, result.latency - self.hierarchy.config.l1i.latency)
+        return max(0, result.latency - port.latency)
 
     # -------------------------------------------------------------- dispatch
 

@@ -1,0 +1,318 @@
+"""Multi-core simulation: lockstep equivalence, attribution, and contention.
+
+The multi-core path makes three claims this suite pins down:
+
+1. **Lockstep equivalence** — a one-core :func:`run_multicore` executes the
+   exact stepping sequence of :meth:`OoOCore.run` over a degenerate one-core
+   uncore, so every cell of the committed golden matrix must reproduce its
+   ``CoreStats`` digest bit-for-bit through the multi-core driver.
+2. **Attribution conservation** — the uncore's per-core L3/DRAM counters are
+   bookkeeping carved out of the shared models' own statistics; summed over
+   cores they must equal the shared totals exactly, for any core count and
+   variant mix (property-based).
+3. **Contention is real** — a PRE core paired with a memory-hungry neighbour
+   loses IPC versus running alone, and the neighbour's traffic shows up in the
+   per-core queue-delay/bus attribution.
+
+The spec plumbing (``MultiCoreSpec`` through engine jobs, sweep cache keys and
+study expansion) rides along in the later test groups.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_controller
+from repro.memory.hierarchy import HierarchyConfig, PrivateHierarchy, SharedUncore
+from repro.registry import build_workload
+from repro.simulation.engine import ExperimentEngine, SweepSpec
+from repro.simulation.golden import stats_digest
+from repro.simulation.multicore import (
+    DEFAULT_ADDRESS_STRIDE,
+    CoreAssignment,
+    MultiCoreSimulator,
+    MultiCoreSpec,
+    run_multicore,
+)
+from repro.simulation.simulator import SimulationRequest, run_simulation, run_variant
+from repro.simulation.study import build_multicore_spec, build_study, study_jobs
+from repro.uarch.core import OoOCore
+from repro.uarch.probes import default_probes
+
+GOLDEN_FILE = Path(__file__).resolve().parent / "goldens" / "golden_stats.json"
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(GOLDEN_FILE.read_text())
+
+
+# ------------------------------------------------- 1. lockstep equivalence
+
+
+class TestSingleCoreGoldenIdentity:
+    def test_every_golden_cell_reproduces_through_the_multicore_driver(self, goldens):
+        """N=1 run_multicore is bit-identical to the single-core goldens."""
+        num_uops = goldens["num_uops"]
+        mismatches = []
+        for workload in goldens["workloads"]:
+            trace = build_workload(workload, num_uops=num_uops)
+            for variant in goldens["variants"]:
+                result = run_multicore([(trace, variant)])
+                digest = stats_digest(result.stats)
+                expected = goldens["cells"][f"{workload}/{variant}"]["digest"]
+                if digest != expected:
+                    mismatches.append(f"{workload}/{variant}")
+        assert not mismatches, (
+            "multicore N=1 diverged from the single-core goldens for: "
+            + ", ".join(mismatches)
+        )
+
+    def test_one_core_result_carries_per_core_sections(self):
+        trace = build_workload("bwaves", num_uops=400)
+        result = run_multicore([(trace, "pre")])
+        assert len(result.cores) == 1
+        assert result.cores[0].core_id == 0
+        assert result.cores[0].variant == "pre"
+        assert result.cores[0].stats is result.stats
+        assert result.uncore is not None
+        assert result.uncore.num_cores == 1
+
+    def test_matches_run_simulation_exactly(self):
+        trace = build_workload("mcf", num_uops=600)
+        single = run_simulation(trace, SimulationRequest(variant="runahead"))
+        multi = run_multicore([(trace, "runahead")])
+        assert stats_digest(multi.stats) == stats_digest(single.stats)
+        assert multi.energy.total_nj == single.energy.total_nj
+
+
+# ------------------------------------------- 2. attribution conservation
+
+
+def _build_cores(assignments, num_uops, hierarchy_config=None):
+    """(uncore, cores) for a list of (workload, variant) pairs."""
+    hierarchy_config = hierarchy_config or HierarchyConfig()
+    uncore = SharedUncore(config=hierarchy_config, num_cores=len(assignments))
+    cores = []
+    for core_id, (workload, variant) in enumerate(assignments):
+        hierarchy = PrivateHierarchy(
+            config=hierarchy_config,
+            uncore=uncore,
+            core_id=core_id,
+            addr_offset=core_id * DEFAULT_ADDRESS_STRIDE,
+        )
+        cores.append(
+            OoOCore(
+                build_workload(workload, num_uops=num_uops),
+                hierarchy=hierarchy,
+                controller=build_controller(variant),
+                probes=default_probes(),
+            )
+        )
+    return uncore, cores
+
+
+class TestAttributionConservation:
+    @given(
+        assignments=st.lists(
+            st.tuples(
+                st.sampled_from(["bwaves", "mcf", "milc"]),
+                st.sampled_from(["ooo", "pre"]),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        num_uops=st.integers(min_value=120, max_value=350),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_per_core_counters_sum_to_shared_totals(self, assignments, num_uops):
+        uncore, cores = _build_cores(assignments, num_uops)
+        MultiCoreSimulator(cores).run()
+        assert sum(uncore.l3_hits) == uncore.l3.stats.hits
+        assert sum(uncore.l3_misses) == uncore.l3.stats.misses
+        assert sum(uncore.dram_reads) == uncore.dram.stats.reads
+        assert sum(uncore.dram_writes) == uncore.dram.stats.writes
+        # Attribution never goes negative and every list covers every core.
+        for counters in (
+            uncore.l3_hits,
+            uncore.l3_misses,
+            uncore.dram_reads,
+            uncore.dram_writes,
+            uncore.dram_queue_delay_cycles,
+            uncore.bus_busy_cycles,
+        ):
+            assert len(counters) == len(assignments)
+            assert all(value >= 0 for value in counters)
+
+    def test_report_lists_are_copies_of_the_live_uncore(self):
+        trace = build_workload("bwaves", num_uops=300)
+        result = run_multicore([(trace, "pre"), (trace, "ooo")])
+        report = result.uncore
+        assert report.num_cores == 2
+        assert sum(report.dram_reads) > 0
+        assert sum(report.l3_misses) >= sum(report.dram_reads)
+
+
+# ------------------------------------------------------ 3. contention smoke
+
+
+class TestContention:
+    def test_pre_loses_ipc_next_to_a_memory_hungry_neighbour(self):
+        """bwaves/pre alone runs strictly faster than next to mcf/ooo."""
+        num_uops = 2000
+        bwaves = build_workload("bwaves", num_uops=num_uops)
+        mcf = build_workload("mcf", num_uops=num_uops)
+        solo = run_multicore([(bwaves, "pre")])
+        paired = run_multicore([(bwaves, "pre"), (mcf, "ooo")])
+        assert paired.ipc < solo.ipc
+        # The neighbour's traffic is visible — and attributed to core 1.
+        assert paired.uncore.dram_reads[1] > 0
+        assert sum(paired.uncore.dram_queue_delay_cycles) > 0
+
+    def test_heterogeneous_variants_per_core(self):
+        trace = build_workload("bwaves", num_uops=400)
+        result = run_multicore([(trace, "pre"), (trace, "ooo")])
+        assert [core.variant for core in result.cores] == ["pre", "ooo"]
+        assert result.variant == "pre"  # core 0 is the focus core
+
+    def test_rejects_bad_inputs(self):
+        trace = build_workload("bwaves", num_uops=100)
+        with pytest.raises(ValueError, match="at least one"):
+            run_multicore([])
+        with pytest.raises(ValueError, match="unknown variant"):
+            run_multicore([(trace, "warp")])
+        with pytest.raises(ValueError, match="address_stride"):
+            run_multicore([(trace, "ooo")], address_stride=0)
+
+
+# ---------------------------------------------------- 4. request API + serde
+
+
+class TestSimulationRequest:
+    def test_round_trips_through_json(self):
+        request = SimulationRequest(
+            variant="pre", max_cycles=5000, probes=["mlp"], warmup_uops=0
+        )
+        assert SimulationRequest.from_dict(request.to_dict()) == request
+
+    def test_run_variant_shim_matches_run_simulation(self):
+        trace = build_workload("milc", num_uops=500)
+        via_shim = run_variant(trace, "pre")
+        via_request = run_simulation(trace, SimulationRequest(variant="pre"))
+        assert stats_digest(via_shim.stats) == stats_digest(via_request.stats)
+
+    def test_rejects_unknown_variant_and_negative_warmup(self):
+        trace = build_workload("milc", num_uops=100)
+        with pytest.raises(ValueError, match="unknown variant"):
+            run_simulation(trace, SimulationRequest(variant="warp"))
+        with pytest.raises(ValueError, match="warmup_uops"):
+            run_simulation(trace, SimulationRequest(warmup_uops=-1))
+
+    def test_multicore_spec_round_trips(self):
+        spec = MultiCoreSpec(
+            cores=[CoreAssignment(workload="mcf", variant="ooo", num_uops=800)],
+            address_stride=1 << 20,
+        )
+        assert MultiCoreSpec.from_dict(spec.to_dict()) == spec
+        assert spec.num_cores == 2
+        with pytest.raises(ValueError, match="address_stride"):
+            MultiCoreSpec(address_stride=0)
+
+
+# --------------------------------------------------- 5. engine integration
+
+
+def _contended_sweep(num_uops=300):
+    return SweepSpec(
+        workloads=["bwaves"],
+        variants=["pre"],
+        num_uops=num_uops,
+        multicore=MultiCoreSpec(cores=[CoreAssignment(workload="mcf")]),
+    )
+
+
+class TestEngineMulticoreJobs:
+    def test_multicore_results_flow_through_the_engine(self):
+        engine = ExperimentEngine(workers=1)
+        sweep = engine.run_sweep(_contended_sweep())
+        for cell in sweep.cells:
+            for result in cell.comparison.benchmarks[0].results.values():
+                assert len(result.cores) == 2
+                assert result.cores[1].variant == "ooo"
+                assert result.cores[1].trace_name == "mcf"
+                assert result.uncore is not None and result.uncore.num_cores == 2
+
+    def test_second_run_is_fully_cached(self, tmp_path):
+        engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+        engine.run_sweep(_contended_sweep())
+        stats = engine.last_run_stats
+        assert stats.simulated == stats.total_jobs
+        engine.run_sweep(_contended_sweep())
+        stats = engine.last_run_stats
+        assert stats.simulated == 0
+        assert stats.cache_hits == stats.total_jobs
+        # Per-core sections survive the cache round-trip.
+        sweep = engine.run_sweep(_contended_sweep())
+        result = next(iter(sweep.cells[0].comparison.benchmarks[0].results.values()))
+        assert len(result.cores) == 2 and result.uncore is not None
+
+    def test_cache_keys_differ_from_single_core_runs(self, tmp_path):
+        engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+        engine.run_sweep(_contended_sweep())
+        engine.run_sweep(
+            SweepSpec(workloads=["bwaves"], variants=["pre"], num_uops=300)
+        )
+        assert engine.last_run_stats.cache_hits == 0
+
+    def test_multicore_rejects_window_replay(self):
+        from repro.simulation.engine import JobSpec
+
+        job = JobSpec(
+            variant="pre",
+            num_uops=200,
+            trace_file="/tmp/nope.trace.gz",
+            multicore=MultiCoreSpec(cores=[CoreAssignment(workload="mcf")]),
+        )
+        with pytest.raises(ValueError, match="multicore"):
+            ExperimentEngine(workers=1).expand_job_payloads([job])
+
+
+# ----------------------------------------------------- 6. study integration
+
+
+class TestStudyIntegration:
+    def test_build_multicore_spec_validation(self):
+        assert build_multicore_spec({}) is None
+        spec = build_multicore_spec({"co_workload": "mcf", "co_variant": "pre"})
+        assert spec.num_cores == 2
+        assert spec.cores[0] == CoreAssignment(workload="mcf", variant="pre")
+        with pytest.raises(KeyError, match="co_wrkload"):
+            build_multicore_spec({"co_wrkload": "mcf"})
+        with pytest.raises(ValueError):
+            build_multicore_spec({"co_runners": -1})
+        with pytest.raises(ValueError):
+            build_multicore_spec({"co_runners": 2})  # no co_workload
+        with pytest.raises(ValueError):
+            build_multicore_spec({"co_variant": "pre"})  # no co-runner
+
+    def test_contention_study_expands_and_attaches_specs(self):
+        spec = build_study("multicore-contention", num_uops=200)
+        points = spec.expand()
+        assert [point.label for point in points] == [
+            "neighbor=none",
+            "neighbor=ooo",
+            "neighbor=pre",
+        ]
+        jobs = study_jobs(spec, ExperimentEngine(workers=1))
+        # Every point runs through the multi-core path — "none" as a
+        # degenerate one-core spec (the in-study no-contention baseline),
+        # the other two with one mcf neighbour each.
+        assert all(job.multicore is not None for job in jobs)
+        solo = [job for job in jobs if job.multicore.num_cores == 1]
+        paired = [job for job in jobs if job.multicore.num_cores == 2]
+        assert len(solo) == len(jobs) // 3
+        assert len(paired) == 2 * len(solo)

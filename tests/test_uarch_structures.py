@@ -243,7 +243,7 @@ class TestFrontEnd:
         trace = strided_stream(num_uops=num_uops)
         config = CoreConfig()
         predictor = GShareBranchPredictor()
-        return FrontEnd(trace, config, predictor, hierarchy=None, stats=CoreStats()), trace
+        return FrontEnd(trace, config, predictor, port=None, stats=CoreStats()), trace
 
     def test_delivers_after_pipeline_depth(self):
         frontend, _ = self._frontend()
